@@ -1,0 +1,272 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each bench regenerates its artifact through the same
+// internal/exp runner the cmd/experiments tool uses and reports the
+// headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// reprints the whole evaluation.
+//
+// Benches run at the Quick experiment scale; pass -benchtime=1x (the
+// numbers are simulation outputs, not wall-clock measurements, so one
+// iteration is meaningful).
+package main
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/ftl"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func quickOpts() exp.Options { return exp.Quick() }
+
+// BenchmarkFig01Trend regenerates the motivation trend data and reports
+// the chip-vs-bus bandwidth growth gap.
+func BenchmarkFig01Trend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chip, bus := exp.Fig1()
+		chipGrowth := chip[len(chip)-1].MBps / chip[0].MBps
+		busGrowth := bus[len(bus)-1].MBps / bus[0].MBps
+		b.ReportMetric(chipGrowth, "chip-growth-x")
+		b.ReportMetric(busGrowth, "bus-growth-x")
+	}
+}
+
+// BenchmarkFig03Imbalance reports the read vs write channel imbalance
+// indices on the exchange-1 trace (baseSSD).
+func BenchmarkFig03Imbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig3(quickOpts())
+		b.ReportMetric(res.ReadImbalance, "read-imbalance")
+		b.ReportMetric(res.WriteImbalance, "write-imbalance")
+	}
+}
+
+// BenchmarkFig04BandwidthSweep reports the mean speedup from doubling the
+// flash channel bandwidth on the baseline SSD.
+func BenchmarkFig04BandwidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig4(quickOpts())
+		var sum float64
+		for _, r := range rows {
+			sum += r.Speedup[2.0]
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-2x-speedup")
+	}
+}
+
+// BenchmarkFig06ReadTiming reports the conventional vs packetized read
+// transaction totals.
+func BenchmarkFig06ReadTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig6(ssd.DefaultConfig())
+		b.ReportMetric(res.ConvTotal.Microseconds(), "conventional-us")
+		b.ReportMetric(res.PktTotal.Microseconds(), "packetized-us")
+	}
+}
+
+// BenchmarkFig08PacketOverhead reports the total wire overhead for a
+// 16 KB page transfer.
+func BenchmarkFig08PacketOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig8()
+		for _, r := range res.Rows {
+			if r.PayloadBytes == 16384 {
+				b.ReportMetric(r.Overhead*100, "16KB-overhead-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig14Latency reports the geomean I/O latency improvement of
+// pSSD, pnSSD, and pnSSD(+split) over baseSSD with GC off.
+func BenchmarkFig14Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig14(quickOpts())
+		mean := exp.MeanImprovement(rows)
+		b.ReportMetric(mean[ssd.ArchPSSD]*100, "pssd-improvement-pct")
+		b.ReportMetric(mean[ssd.ArchPnSSD]*100, "pnssd-improvement-pct")
+		b.ReportMetric(mean[ssd.ArchPnSSDSplit]*100, "split-improvement-pct")
+		b.ReportMetric(mean[ssd.ArchNoSSDPin]*100, "nossd-pin-improvement-pct")
+	}
+}
+
+// BenchmarkFig15Throughput reports KIOPS for baseSSD and pnSSD(+split)
+// across the trace suite (same runs as Fig 14).
+func BenchmarkFig15Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig14(quickOpts())
+		var base, split float64
+		for _, r := range rows {
+			base += r.KIOPS[ssd.ArchBase]
+			split += r.KIOPS[ssd.ArchPnSSDSplit]
+		}
+		b.ReportMetric(base/float64(len(rows)), "base-kiops")
+		b.ReportMetric(split/float64(len(rows)), "split-kiops")
+	}
+}
+
+// BenchmarkFig16PCWD reports the 64-outstanding random-read latency under
+// the channel-balancing PCWD policy for baseSSD and pSSD.
+func BenchmarkFig16PCWD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig16(quickOpts())
+		reportSweep(b, rows)
+	}
+}
+
+// BenchmarkFig17PWCD reports the same sweep under the imbalanced PWCD
+// policy, where path diversity pays off.
+func BenchmarkFig17PWCD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig17(quickOpts())
+		reportSweep(b, rows)
+	}
+}
+
+func reportSweep(b *testing.B, rows []exp.Fig16Row) {
+	b.Helper()
+	for _, r := range rows {
+		if r.Pattern != workload.RandRead {
+			continue
+		}
+		last := r.Points[len(r.Points)-1].Latency.Microseconds()
+		switch r.Arch {
+		case ssd.ArchBase:
+			b.ReportMetric(last, "base-randread64-us")
+		case ssd.ArchPSSD:
+			b.ReportMetric(last, "pssd-randread64-us")
+		case ssd.ArchPnSSDSplit:
+			b.ReportMetric(last, "split-randread64-us")
+		}
+	}
+}
+
+// BenchmarkFig18GCSynthetic reports the read improvement of pnSSD with
+// spatial GC over the baseline with parallel GC while collection runs
+// continuously.
+func BenchmarkFig18GCSynthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig18(quickOpts())
+		for _, r := range rows {
+			if r.Config.Arch == ssd.ArchPnSSD && r.Config.Mode == ftl.GCSpatial {
+				b.ReportMetric(r.ReadImprovement*100, "pnssd-spgc-read-improvement-pct")
+				b.ReportMetric(r.WriteImprovement*100, "pnssd-spgc-write-improvement-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig19GCTraces reports the trace-driven improvement of
+// pnSSD(+split) with SpGC over baseSSD with PaGC.
+func BenchmarkFig19GCTraces(b *testing.B) {
+	opt := quickOpts()
+	opt.Traces = []string{"rocksdb-1"}
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig19(opt)
+		r := rows[0]
+		b.ReportMetric(r.Improvement["pnSSD(+split)(SpGC)"]*100, "split-spgc-improvement-pct")
+		b.ReportMetric(r.Improvement["pSSD(SpGC)"]*100, "pssd-spgc-improvement-pct")
+		b.ReportMetric(r.Improvement["baseSSD(Preemptive)"]*100, "base-preemptive-improvement-pct")
+	}
+}
+
+// BenchmarkFig20aTail reports the p99 tail latency ratio between the
+// baseline and pnSSD(+split) with spatial GC on rocksdb-0.
+func BenchmarkFig20aTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig20a(quickOpts())
+		base := rows[0]
+		pn := rows[len(rows)-1]
+		b.ReportMetric(base.P99.Microseconds(), "base-p99-us")
+		b.ReportMetric(pn.P99.Microseconds(), "pnssd-p99-us")
+		b.ReportMetric(float64(base.P99)/float64(pn.P99), "p99-reduction-x")
+	}
+}
+
+// BenchmarkFig20bGCTime reports the mean GC round time for the baseline
+// and pnSSD(+split).
+func BenchmarkFig20bGCTime(b *testing.B) {
+	opt := quickOpts()
+	opt.Traces = []string{"rocksdb-1"}
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig20b(opt)
+		b.ReportMetric(rows[0].MeanGCTime.Milliseconds(), "base-gc-ms")
+		b.ReportMetric(rows[len(rows)-1].MeanGCTime.Milliseconds(), "pnssd-gc-ms")
+	}
+}
+
+// BenchmarkTable02Config exercises building a full Table II device (no
+// workload), reporting raw capacity.
+func BenchmarkTable02Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ssd.DefaultConfig()
+		b.ReportMetric(float64(cfg.RawPages()), "raw-pages")
+	}
+}
+
+// BenchmarkTable03Architectures constructs every Table III architecture
+// and performs a smoke I/O on each.
+func BenchmarkTable03Architectures(b *testing.B) {
+	cfg := quickOpts().Cfg
+	for i := 0; i < b.N; i++ {
+		for _, arch := range ssd.Archs {
+			s := ssd.New(arch, *cfg)
+			s.Host.Warmup(64)
+			s.Host.RunClosedLoop(workload.Synthetic(workload.RandRead, 64, 1, 1), 2, 8)
+			s.Run()
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures raw event-loop performance: events
+// processed per second through a contended channel.
+func BenchmarkEngineThroughput(b *testing.B) {
+	s := ssd.New(ssd.ArchBase, *quickOpts().Cfg)
+	s.Host.Warmup(1024)
+	gen := workload.Synthetic(workload.RandRead, 1024, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Host.RunClosedLoop(gen, 8, 50)
+		s.Run()
+	}
+	b.ReportMetric(float64(s.Engine.EventsFired())/float64(b.N), "events/op")
+}
+
+// BenchmarkAblationRouting reports the routing-policy ablation: h-only vs
+// the paper's greedy vs the future-work JSQ router under read skew.
+func BenchmarkAblationRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.AblationRouting(quickOpts())
+		b.ReportMetric(rows[0].Latency.Microseconds(), "h-only-us")
+		b.ReportMetric(rows[1].Latency.Microseconds(), "greedy-us")
+		b.ReportMetric(rows[3].Latency.Microseconds(), "jsq-us")
+	}
+}
+
+// BenchmarkAblationVWidth reports the v-channel width sweep endpoints.
+func BenchmarkAblationVWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.AblationVWidth(quickOpts())
+		b.ReportMetric(rows[0].Latency.Microseconds(), "v2bit-us")
+		b.ReportMetric(rows[2].Latency.Microseconds(), "v8bit-us")
+	}
+}
+
+// BenchmarkAblationGCGroup reports the SpGC group-fraction trade-off.
+func BenchmarkAblationGCGroup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.AblationGCGroup(quickOpts())
+		b.ReportMetric(rows[0].Latency.Microseconds(), "group25-us")
+		b.ReportMetric(rows[1].Latency.Microseconds(), "group50-us")
+	}
+}
+
+// BenchmarkAblationEcc reports the hybrid-ECC fallback sweep endpoints.
+func BenchmarkAblationEcc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.AblationEccFallback(quickOpts())
+		b.ReportMetric(rows[0].Latency.Microseconds(), "ecc0-us")
+		b.ReportMetric(rows[len(rows)-1].Latency.Microseconds(), "ecc100-us")
+	}
+}

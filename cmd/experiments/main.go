@@ -1,0 +1,370 @@
+// Command experiments reproduces every table and figure of the paper's
+// evaluation. With no flags it runs the full suite; -fig / -table select
+// individual artifacts, -quick shrinks run sizes for a fast smoke pass,
+// and -csv switches output to CSV.
+//
+//	go run ./cmd/experiments -fig 14
+//	go run ./cmd/experiments -table 2
+//	go run ./cmd/experiments -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+	"repro/internal/ssd"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention (empty = all)")
+	table := flag.String("table", "", "table to print: 1,2,3")
+	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
+	quick := flag.Bool("quick", false, "small runs for a fast smoke pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 1, "workload seed")
+	reqs := flag.Int("requests", 0, "override trace request count")
+	flag.Parse()
+
+	opt := exp.Options{Seed: *seed}
+	if *quick {
+		opt = exp.Quick()
+		opt.Seed = *seed
+	}
+	if *reqs > 0 {
+		opt.TraceRequests = *reqs
+	}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	runners := map[string]func(exp.Options, func(*report.Table)){
+		"1":          fig1,
+		"3":          fig3,
+		"4":          fig4,
+		"6":          fig6,
+		"8":          fig8,
+		"14":         fig14and15,
+		"15":         fig14and15,
+		"16":         fig16,
+		"17":         fig17,
+		"18":         fig18,
+		"19":         fig19,
+		"20a":        fig20a,
+		"20b":        fig20b,
+		"contention": figContention,
+	}
+	tables := map[string]func(exp.Options, func(*report.Table)){
+		"1": table1,
+		"2": table2,
+		"3": table3,
+	}
+
+	switch {
+	case *ablation != "":
+		runAblations(*ablation, opt, emit)
+	case *table != "":
+		fn, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		fn(opt, emit)
+	case *fig != "":
+		fn, ok := runners[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		fn(opt, emit)
+	default:
+		order := []string{"1", "3", "4", "6", "8", "14", "16", "17", "18", "19", "20a", "20b"}
+		table1(opt, emit)
+		table2(opt, emit)
+		table3(opt, emit)
+		for _, name := range order {
+			runners[name](opt, emit)
+		}
+	}
+}
+
+func fig1(_ exp.Options, emit func(*report.Table)) {
+	chip, busTrend := exp.Fig1()
+	t := report.New("Fig 1(a): flash memory chip I/O bandwidth trend", "year", "MB/s", "product")
+	for _, p := range chip {
+		t.Add(fmt.Sprint(p.Year), report.F1(p.MBps), p.Label)
+	}
+	emit(t)
+	t = report.New("Fig 1(b): flash memory bus bandwidth trend", "year", "MB/s", "interface")
+	for _, p := range busTrend {
+		t.Add(fmt.Sprint(p.Year), report.F1(p.MBps), p.Label)
+	}
+	emit(t)
+}
+
+func fig3(opt exp.Options, emit func(*report.Table)) {
+	res := exp.Fig3(opt)
+	heat := func(title string, rows [][]float64, imbalance float64) {
+		t := report.New(fmt.Sprintf("%s on %s (imbalance index %.2f; one column per %v window)",
+			title, res.Trace, imbalance, "500us"), "ch", "utilization over time")
+		for ch, row := range rows {
+			t.Add(fmt.Sprint(ch), report.Heat(row))
+		}
+		emit(t)
+	}
+	heat("Fig 3(a): READ channel utilization", res.ReadRows, res.ReadImbalance)
+	heat("Fig 3(b): WRITE channel utilization", res.WriteRows, res.WriteImbalance)
+}
+
+func fig4(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Fig4(opt)
+	t := report.New("Fig 4: I/O performance gain from raising flash channel bandwidth (baseSSD)",
+		"trace", "1.25x", "1.5x", "2.0x")
+	var sum float64
+	for _, r := range rows {
+		t.Add(r.Trace, report.X(r.Speedup[1.25]), report.X(r.Speedup[1.5]), report.X(r.Speedup[2.0]))
+		sum += r.Speedup[2.0]
+	}
+	t.Add("average", "", "", report.X(sum/float64(len(rows))))
+	emit(t)
+}
+
+func fig6(opt exp.Options, emit func(*report.Table)) {
+	cfg := ssd.DefaultConfig()
+	if opt.Cfg != nil {
+		cfg = *opt.Cfg
+	}
+	res := exp.Fig6(cfg)
+	t := report.New("Fig 6: READ transaction timing, conventional vs packetized (one 16 KB page)",
+		"phase", "conventional", "packetized (16-bit)")
+	for i := range res.Conventional {
+		t.Add(res.Conventional[i].Phase, res.Conventional[i].Dur.String(), "")
+	}
+	for i := range res.Packetized {
+		t.Add(res.Packetized[i].Phase, "", res.Packetized[i].Dur.String())
+	}
+	t.Add("TOTAL", res.ConvTotal.String(), res.PktTotal.String())
+	emit(t)
+}
+
+func fig8(_ exp.Options, emit func(*report.Table)) {
+	res := exp.Fig8()
+	t := report.New("Fig 8: packet format overhead", "quantity", "value")
+	t.Add("control header reserved bits", report.Pct(res.ControlHeaderOverhead))
+	t.Add("data header reserved bits", report.Pct(res.DataHeaderOverhead))
+	t.Add("read control packet", fmt.Sprintf("%d flits", res.ControlPacketFlits))
+	emit(t)
+	t = report.New("Fig 8 (cont): total wire overhead vs payload size", "payload B", "wire flits", "overhead")
+	for _, r := range res.Rows {
+		t.Add(fmt.Sprint(r.PayloadBytes), fmt.Sprint(r.WireFlits), report.Pct(r.Overhead))
+	}
+	emit(t)
+}
+
+func fig14and15(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Fig14(opt)
+	t := report.New("Fig 14: average I/O latency improvement vs baseSSD (GC off)", firstCol(rows)...)
+	for _, r := range rows {
+		cells := []string{r.Trace}
+		for _, a := range ssd.Archs {
+			cells = append(cells, report.Pct(r.Improvement[a]))
+		}
+		t.Add(cells...)
+	}
+	mean := exp.MeanImprovement(rows)
+	cells := []string{"geomean"}
+	for _, a := range ssd.Archs {
+		cells = append(cells, report.Pct(mean[a]))
+	}
+	t.Add(cells...)
+	emit(t)
+
+	t = report.New("Fig 15: throughput (KIOPS)", firstCol(rows)...)
+	for _, r := range rows {
+		cells := []string{r.Trace}
+		for _, a := range ssd.Archs {
+			cells = append(cells, report.F1(r.KIOPS[a]))
+		}
+		t.Add(cells...)
+	}
+	emit(t)
+}
+
+func firstCol(_ []exp.Fig14Row) []string {
+	heads := []string{"trace"}
+	for _, a := range ssd.Archs {
+		heads = append(heads, a.String())
+	}
+	return heads
+}
+
+func sweepTable(title string, rows []exp.Fig16Row, emit func(*report.Table)) {
+	byPattern := map[string][]exp.Fig16Row{}
+	var patterns []string
+	for _, r := range rows {
+		key := r.Pattern.String()
+		if _, seen := byPattern[key]; !seen {
+			patterns = append(patterns, key)
+		}
+		byPattern[key] = append(byPattern[key], r)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		group := byPattern[p]
+		heads := []string{"arch \\ outstanding"}
+		for _, pt := range group[0].Points {
+			heads = append(heads, fmt.Sprint(pt.Outstanding))
+		}
+		t := report.New(fmt.Sprintf("%s — %s (mean latency)", title, p), heads...)
+		for _, r := range group {
+			cells := []string{r.Arch.String()}
+			for _, pt := range r.Points {
+				cells = append(cells, pt.Latency.String())
+			}
+			t.Add(cells...)
+		}
+		emit(t)
+	}
+}
+
+func fig16(opt exp.Options, emit func(*report.Table)) {
+	sweepTable("Fig 16: synthetic sweep, PCWD allocation", exp.Fig16(opt), emit)
+}
+
+func fig17(opt exp.Options, emit func(*report.Table)) {
+	sweepTable("Fig 17: synthetic sweep, PWCD allocation", exp.Fig17(opt), emit)
+}
+
+func fig18(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Fig18(opt)
+	t := report.New("Fig 18: I/O performance during GC, normalized to baseSSD(PaGC)",
+		"config", "read latency", "read improvement", "write latency", "write improvement")
+	for _, r := range rows {
+		t.Add(r.Config.Label(), r.ReadLatency.String(), report.Pct(r.ReadImprovement),
+			r.WriteLatency.String(), report.Pct(r.WriteImprovement))
+	}
+	emit(t)
+}
+
+func fig19(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Fig19(opt)
+	heads := []string{"trace"}
+	for _, c := range exp.Fig19Configs {
+		heads = append(heads, c.Label())
+	}
+	t := report.New("Fig 19: average I/O latency improvement with GC active, vs baseSSD(PaGC)", heads...)
+	for _, r := range rows {
+		cells := []string{r.Trace}
+		for _, c := range exp.Fig19Configs {
+			cells = append(cells, report.Pct(r.Improvement[c.Label()]))
+		}
+		t.Add(cells...)
+	}
+	emit(t)
+}
+
+func fig20a(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Fig20a(opt)
+	t := report.New("Fig 20(a): tail latency on rocksdb-0 with GC active",
+		"config", "p50", "p90", "p99", "p99.9", "max")
+	for _, r := range rows {
+		t.Add(r.Config.Label(), r.P50.String(), r.P90.String(), r.P99.String(), r.P999.String(), r.Max.String())
+	}
+	emit(t)
+}
+
+func fig20b(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Fig20b(opt)
+	t := report.New("Fig 20(b): garbage collection execution time",
+		"config", "mean GC round", "rounds", "pages copied")
+	for _, r := range rows {
+		t.Add(r.Config.Label(), r.MeanGCTime.String(), fmt.Sprint(r.Rounds), fmt.Sprint(r.PagesCopied))
+	}
+	emit(t)
+}
+
+func table1(_ exp.Options, emit func(*report.Table)) {
+	t := report.New("Table I: ONFi flash interface signals", "symbol", "type", "pins", "description")
+	for _, r := range exp.TableI() {
+		t.Add(r.Symbol, r.Type, fmt.Sprint(r.Pins), r.Description)
+	}
+	emit(t)
+}
+
+func table2(opt exp.Options, emit func(*report.Table)) {
+	cfg := ssd.DefaultConfig()
+	if opt.Cfg != nil {
+		cfg = *opt.Cfg
+	}
+	g := cfg.Geometry
+	t := report.New("Table II: simulation parameters", "parameter", "value")
+	t.Add("organization", fmt.Sprintf("%d channels, %d ways, 1 die, %d planes, %d blocks, %d pages",
+		cfg.Channels, cfg.Ways, g.Planes, g.BlocksPerPlane, g.PagesPerBlock))
+	t.Add("page size", fmt.Sprintf("%d KB", g.PageSize/1024))
+	t.Add("baseline flash bus", fmt.Sprintf("%d MT/s, 8 bits", cfg.BusMTps))
+	t.Add("pSSD flash bus", fmt.Sprintf("%d MT/s, 16 bits", cfg.BusMTps))
+	t.Add("pnSSD v-channels", fmt.Sprintf("%d, 8 bits each", cfg.Ways))
+	t.Add("flash timing", fmt.Sprintf("read=%v write=%v erase=%v", cfg.Timing.Read, cfg.Timing.Program, cfg.Timing.Erase))
+	t.Add("logical utilization", report.F2(cfg.LogicalUtilization))
+	emit(t)
+}
+
+func table3(_ exp.Options, emit func(*report.Table)) {
+	t := report.New("Table III: SSD architectures evaluated", "acronym", "description")
+	for _, row := range exp.TableIII() {
+		t.Add(row[0], row[1])
+	}
+	emit(t)
+}
+
+var ablations = []struct {
+	name  string
+	title string
+	run   func(exp.Options) []exp.AblationRow
+}{
+	{"vwidth", "Ablation: v-channel width (h fixed at 8 bits)", exp.AblationVWidth},
+	{"routing", "Ablation: routing policy under read skew", exp.AblationRouting},
+	{"ctrl-latency", "Ablation: control-plane message latency", exp.AblationCtrlLatency},
+	{"gc-group", "Ablation: spatial GC group fraction", exp.AblationGCGroup},
+	{"organization", "Ablation: Omnibus organization at 64 chips", exp.AblationOrganization},
+	{"ecc", "Ablation: on-die ECC failure rate for flash-to-flash copies", exp.AblationEccFallback},
+	{"victim", "Ablation: GC victim selection policy", exp.AblationVictimPolicy},
+}
+
+func runAblations(which string, opt exp.Options, emit func(*report.Table)) {
+	ran := false
+	for _, a := range ablations {
+		if which != "all" && which != a.name {
+			continue
+		}
+		ran = true
+		t := report.New(a.title, "config", "mean latency", "p99", "detail")
+		for _, row := range a.run(opt) {
+			t.Add(row.Name, row.Latency.String(), row.P99.String(), row.Detail)
+		}
+		emit(t)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown ablation %q\n", which)
+		os.Exit(2)
+	}
+}
+
+func figContention(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.Contention(opt)
+	t := report.New("Channel contention profile (search-0, read-skewed; supplementary analysis)",
+		"architecture", "mean latency", "h mean wait", "worst wait", "v mean wait", "busiest util")
+	for _, r := range rows {
+		t.Add(r.Arch.String(), r.MeanLatency.String(), r.HMeanWait.String(),
+			r.HMaxWait.String(), r.VMeanWait.String(), report.F2(r.BusiestUtil))
+	}
+	emit(t)
+}

@@ -1,0 +1,176 @@
+// Command pssdsim runs one SSD simulation: pick an architecture, a
+// workload (named trace preset, trace CSV file, or synthetic pattern), a
+// GC mode, and get the latency/throughput report.
+//
+//	go run ./cmd/pssdsim -arch pnssd+split -trace rocksdb-0 -gc spgc
+//	go run ./cmd/pssdsim -arch pssd -synthetic rand-read -outstanding 32
+//	go run ./cmd/pssdsim -arch base -tracefile mytrace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ftl"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var archNames = map[string]ssd.Arch{
+	"base":        ssd.ArchBase,
+	"nossd-pin":   ssd.ArchNoSSDPin,
+	"nossd-free":  ssd.ArchNoSSDFree,
+	"pssd":        ssd.ArchPSSD,
+	"pnssd":       ssd.ArchPnSSD,
+	"pnssd+split": ssd.ArchPnSSDSplit,
+}
+
+var gcNames = map[string]ftl.GCMode{
+	"none":       ftl.GCNone,
+	"pagc":       ftl.GCParallel,
+	"preemptive": ftl.GCPreemptive,
+	"spgc":       ftl.GCSpatial,
+}
+
+func main() {
+	archFlag := flag.String("arch", "pnssd+split", "architecture: base, nossd-pin, nossd-free, pssd, pnssd, pnssd+split")
+	traceFlag := flag.String("trace", "", "named trace preset (see -list)")
+	traceFile := flag.String("tracefile", "", "replay a trace CSV (arrival_ps,op,lpn,pages)")
+	synth := flag.String("synthetic", "", "closed-loop pattern: seq-read, seq-write, rand-read, rand-write")
+	outstanding := flag.Int("outstanding", 16, "outstanding I/Os for synthetic runs")
+	requests := flag.Int("requests", 2000, "request count")
+	gcFlag := flag.String("gc", "none", "GC mode: none, pagc, preemptive, spgc")
+	policy := flag.String("policy", "pcwd", "page allocation policy: pcwd, pwcd")
+	seed := flag.Int64("seed", 1, "workload seed")
+	full := flag.Bool("full", false, "full Table II geometry (slow); default is the scaled geometry")
+	list := flag.Bool("list", false, "list named traces and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			why, _ := workload.Describe(name)
+			fmt.Printf("%-12s %s\n", name, why)
+		}
+		return
+	}
+
+	arch, ok := archNames[strings.ToLower(*archFlag)]
+	if !ok {
+		fatalf("unknown architecture %q", *archFlag)
+	}
+	gc, ok := gcNames[strings.ToLower(*gcFlag)]
+	if !ok {
+		fatalf("unknown GC mode %q", *gcFlag)
+	}
+
+	cfg := ssd.ScaledConfig()
+	if *full {
+		cfg = ssd.DefaultConfig()
+	}
+	cfg.FTL.GCMode = gc
+	switch strings.ToLower(*policy) {
+	case "pcwd":
+		cfg.FTL.Policy = ftl.PCWD
+	case "pwcd":
+		cfg.FTL.Policy = ftl.PWCD
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+	if gc != ftl.GCNone {
+		cfg.LogicalUtilization = 0.75
+	}
+
+	s := ssd.New(arch, cfg)
+	foot := s.Config.LogicalPages()
+	fmt.Printf("architecture: %s (%s)\n", arch, arch.Describe())
+	fmt.Printf("device: %d chips, %d logical pages (%d MB), GC=%s, policy=%s\n",
+		s.Grid.NumChips(), foot, foot*int64(cfg.Geometry.PageSize)/(1<<20), gc, cfg.FTL.Policy)
+
+	s.Host.Warmup(foot)
+	switch {
+	case *synth != "":
+		var p workload.Pattern
+		switch strings.ToLower(*synth) {
+		case "seq-read":
+			p = workload.SeqRead
+		case "seq-write":
+			p = workload.SeqWrite
+		case "rand-read":
+			p = workload.RandRead
+		case "rand-write":
+			p = workload.RandWrite
+		default:
+			fatalf("unknown synthetic pattern %q", *synth)
+		}
+		fmt.Printf("workload: synthetic %s, %d outstanding, %d requests\n", p, *outstanding, *requests)
+		s.Host.RunClosedLoop(workload.Synthetic(p, foot, 4, *seed), *outstanding, *requests)
+	case *traceFile != "":
+		fh, err := os.Open(*traceFile)
+		if err != nil {
+			fatalf("open trace: %v", err)
+		}
+		tr, err := workload.ReadCSV(fh, *traceFile)
+		fh.Close()
+		if err != nil {
+			fatalf("parse trace: %v", err)
+		}
+		if tr.Footprint > foot {
+			fatalf("trace footprint %d exceeds device logical pages %d", tr.Footprint, foot)
+		}
+		fmt.Printf("workload: trace file %s, %d requests\n", *traceFile, len(tr.Requests))
+		s.Host.Replay(tr.Requests)
+	default:
+		name := *traceFlag
+		if name == "" {
+			name = "rocksdb-0"
+		}
+		tr, err := workload.Named(name, foot, *requests, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		reads, writes, frac := tr.Mix()
+		fmt.Printf("workload: %s (%d reads / %d writes, %.0f%% read), duration %v\n",
+			name, reads, writes, frac*100, tr.Duration())
+		s.Host.Replay(tr.Requests)
+	}
+
+	end := s.Run()
+	printReport(s, end)
+}
+
+func printReport(s *ssd.SSD, end sim.Time) {
+	m := s.Metrics()
+	comb := m.Combined()
+	t := report.New("\nResults", "metric", "value")
+	t.Add("simulated time", end.String())
+	t.Add("requests", fmt.Sprint(m.TotalRequests()))
+	t.Add("mean latency", comb.Mean().String())
+	t.Add("read mean", m.Latency[stats.Read].Mean().String())
+	t.Add("write mean", m.Latency[stats.Write].Mean().String())
+	t.Add("p50 / p99 / p99.9", fmt.Sprintf("%v / %v / %v", comb.Percentile(50), comb.P99(), comb.Percentile(99.9)))
+	t.Add("throughput", fmt.Sprintf("%.1f KIOPS, %.1f MB/s", m.KIOPS(), m.BandwidthMBps()))
+	st := s.FTL.Stats()
+	if st.GCRounds > 0 {
+		t.Add("GC rounds", fmt.Sprint(st.GCRounds))
+		t.Add("GC pages copied", fmt.Sprint(st.GCPagesCopied))
+		t.Add("GC blocks erased", fmt.Sprint(st.GCBlocksErased))
+		t.Add("GC total time", st.GCTotalTime.String())
+	}
+	t.Add("sysbus busy", s.Soc.SysBusBusy().String())
+	t.Add("dram busy", s.Soc.DramBusy().String())
+	fmt.Println(t.String())
+	if err := s.FTL.CheckConsistency(); err != nil {
+		fatalf("FTL consistency check failed: %v", err)
+	}
+	fmt.Println("FTL mapping consistency: OK")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command sweep runs one-dimensional parameter sweeps and emits CSV
+// series suitable for plotting: mean and tail latency versus outstanding
+// I/O depth, bus rate, way count, or request size, for any architecture.
+//
+//	go run ./cmd/sweep -param outstanding -arch pnssd+split
+//	go run ./cmd/sweep -param busrate -arch base -pattern rand-read
+//	go run ./cmd/sweep -param ways -arch pnssd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ftl"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+var archNames = map[string]ssd.Arch{
+	"base":        ssd.ArchBase,
+	"nossd-pin":   ssd.ArchNoSSDPin,
+	"nossd-free":  ssd.ArchNoSSDFree,
+	"pssd":        ssd.ArchPSSD,
+	"pnssd":       ssd.ArchPnSSD,
+	"pnssd+split": ssd.ArchPnSSDSplit,
+}
+
+var patterns = map[string]workload.Pattern{
+	"seq-read":   workload.SeqRead,
+	"seq-write":  workload.SeqWrite,
+	"rand-read":  workload.RandRead,
+	"rand-write": workload.RandWrite,
+}
+
+func main() {
+	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages")
+	archFlag := flag.String("arch", "pnssd+split", "architecture (comma list allowed)")
+	patternFlag := flag.String("pattern", "rand-read", "synthetic pattern")
+	requests := flag.Int("requests", 300, "requests per point")
+	outstanding := flag.Int("outstanding", 16, "outstanding depth (fixed dims)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	p, ok := patterns[strings.ToLower(*patternFlag)]
+	if !ok {
+		fatalf("unknown pattern %q", *patternFlag)
+	}
+	var archs []ssd.Arch
+	for _, name := range strings.Split(*archFlag, ",") {
+		a, ok := archNames[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			fatalf("unknown architecture %q", name)
+		}
+		archs = append(archs, a)
+	}
+
+	type point struct {
+		x    int
+		mk   func() ssd.Config
+		outs int
+		req  int
+	}
+	var pts []point
+	base := func() ssd.Config { return ssd.ScaledConfig() }
+	switch strings.ToLower(*param) {
+	case "outstanding":
+		for _, o := range []int{1, 2, 4, 8, 16, 32, 64} {
+			o := o
+			pts = append(pts, point{x: o, mk: base, outs: o, req: 4})
+		}
+	case "busrate":
+		for _, r := range []int{500, 750, 1000, 1500, 2000} {
+			r := r
+			pts = append(pts, point{x: r, mk: func() ssd.Config {
+				c := base()
+				c.BusMTps = r
+				return c
+			}, outs: *outstanding, req: 4})
+		}
+	case "ways":
+		for _, w := range []int{2, 4, 8, 16} {
+			w := w
+			pts = append(pts, point{x: w, mk: func() ssd.Config {
+				c := base()
+				c.Ways = w
+				return c
+			}, outs: *outstanding, req: 4})
+		}
+	case "reqpages":
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			n := n
+			pts = append(pts, point{x: n, mk: base, outs: *outstanding, req: n})
+		}
+	default:
+		fatalf("unknown sweep parameter %q", *param)
+	}
+
+	fmt.Printf("param,arch,pattern,x,mean_us,p99_us,kiops\n")
+	for _, arch := range archs {
+		for _, pt := range pts {
+			cfg := pt.mk()
+			cfg.FTL.GCMode = ftl.GCNone
+			s := ssd.New(arch, cfg)
+			foot := s.Config.LogicalPages()
+			s.Host.Warmup(foot)
+			gen := workload.Synthetic(p, foot, pt.req, *seed)
+			s.Host.RunClosedLoop(gen, pt.outs, *requests)
+			s.Run()
+			m := s.Metrics()
+			fmt.Printf("%s,%s,%s,%d,%.2f,%.2f,%.1f\n",
+				*param, arch, p, pt.x,
+				m.MeanLatency().Microseconds(),
+				m.Combined().P99().Microseconds(),
+				m.KIOPS())
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

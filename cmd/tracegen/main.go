@@ -1,0 +1,67 @@
+// Command tracegen emits synthetic workload traces as CSV, either from a
+// named preset or from explicit parameters. The output replays with
+// `pssdsim -tracefile`.
+//
+//	go run ./cmd/tracegen -preset exchange-1 -n 5000 > exchange1.csv
+//	go run ./cmd/tracegen -read-ratio 0.7 -zipf 1.3 -n 1000 > custom.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "", "named preset (empty = custom parameters)")
+	n := flag.Int("n", 2000, "number of requests")
+	footprint := flag.Int64("footprint", 1<<17, "logical footprint in pages")
+	seed := flag.Int64("seed", 1, "generator seed")
+	readRatio := flag.Float64("read-ratio", 0.5, "fraction of reads (custom)")
+	zipf := flag.Float64("zipf", 0, "Zipf skew s (>1 skews, 0 uniform; custom)")
+	regions := flag.Int("regions", 64, "hot region count (custom)")
+	regionPages := flag.Int("region-pages", 0, "read-hot window pages per region (custom)")
+	reqPages := flag.Int("req-pages", 4, "request size in pages (custom)")
+	gapUS := flag.Int("gap-us", 80, "mean inter-burst gap in microseconds (custom)")
+	burst := flag.Int("burst", 4, "requests per burst (custom)")
+	list := flag.Bool("list", false, "list presets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			why, _ := workload.Describe(name)
+			fmt.Printf("%-12s %s\n", name, why)
+		}
+		return
+	}
+
+	var tr workload.Trace
+	var err error
+	if *preset != "" {
+		tr, err = workload.Named(*preset, *footprint, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		tr = workload.Generate("custom", workload.Params{
+			ReadRatio:   *readRatio,
+			ZipfS:       *zipf,
+			HotRegions:  *regions,
+			RegionPages: *regionPages,
+			ReqPages:    *reqPages,
+			MeanGap:     sim.Time(*gapUS) * sim.Microsecond,
+			Burst:       *burst,
+		}, *footprint, *n, *seed)
+	}
+	if err := workload.WriteCSV(os.Stdout, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reads, writes, frac := tr.Mix()
+	fmt.Fprintf(os.Stderr, "%s: %d requests (%d R / %d W, %.0f%% read), footprint %d pages, duration %v\n",
+		tr.Name, len(tr.Requests), reads, writes, frac*100, tr.Footprint, tr.Duration())
+}

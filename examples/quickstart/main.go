@@ -1,0 +1,38 @@
+// Quickstart: build a pnSSD, run a small random-read workload, and print
+// the latency distribution. This is the smallest end-to-end use of the
+// library: construct an ssd.SSD, warm it up, drive the host, run the
+// event loop, read the metrics.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func main() {
+	// ScaledConfig is the paper's Table II organization (8 channels x 8
+	// ways, 4 planes, 16 KB pages, ULL flash, 1000 MT/s buses) with a
+	// reduced block count so everything runs in moments.
+	cfg := ssd.ScaledConfig()
+	device := ssd.New(ssd.ArchPnSSDSplit, cfg)
+
+	// Fill the logical space instantly so reads always hit mapped pages.
+	footprint := device.Config.LogicalPages()
+	device.Host.Warmup(footprint)
+
+	// 64 KB random reads, 16 outstanding, 500 requests.
+	gen := workload.Synthetic(workload.RandRead, footprint, 4, 42)
+	device.Host.RunClosedLoop(gen, 16, 500)
+
+	elapsed := device.Run()
+
+	m := device.Metrics()
+	h := m.Combined()
+	fmt.Printf("architecture : %s\n", device.Arch)
+	fmt.Printf("simulated    : %v for %d requests\n", elapsed, m.TotalRequests())
+	fmt.Printf("mean latency : %v\n", h.Mean())
+	fmt.Printf("p50 / p99    : %v / %v\n", h.Percentile(50), h.P99())
+	fmt.Printf("throughput   : %.1f KIOPS (%.0f MB/s)\n", m.KIOPS(), m.BandwidthMBps())
+}

@@ -1,0 +1,59 @@
+// Trace replay: generate a trace CSV with the workload package, write it
+// to disk, read it back, and replay it against two architectures — the
+// round trip a user with real trace files would follow (convert to the
+// arrival_ps,op,lpn,pages CSV, then replay).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := ssd.ScaledConfig()
+	foot := cfg.LogicalPages()
+
+	// 1. Generate a skewed read-mostly trace and persist it as CSV.
+	tr, err := workload.Named("web-0", foot, 1500, 99)
+	if err != nil {
+		panic(err)
+	}
+	path := filepath.Join(os.TempDir(), "web0-example.csv")
+	fh, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := workload.WriteCSV(fh, tr); err != nil {
+		panic(err)
+	}
+	fh.Close()
+	reads, writes, frac := tr.Mix()
+	fmt.Printf("wrote %s: %d requests (%d R / %d W, %.0f%% reads)\n\n", path, len(tr.Requests), reads, writes, frac*100)
+
+	// 2. Read it back, exactly as an external trace would arrive.
+	fh, err = os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	replayed, err := workload.ReadCSV(fh, "web-0")
+	fh.Close()
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Replay on two architectures and compare.
+	for _, arch := range []ssd.Arch{ssd.ArchBase, ssd.ArchPnSSDSplit} {
+		device := ssd.New(arch, cfg)
+		device.Host.Warmup(foot)
+		completed := device.Host.Replay(replayed.Requests)
+		device.Run()
+		m := device.Metrics()
+		fmt.Printf("%-16s completed=%d mean=%v p99=%v %.1f KIOPS\n",
+			arch, *completed, m.MeanLatency(), m.Combined().P99(), m.KIOPS())
+	}
+	os.Remove(path)
+}

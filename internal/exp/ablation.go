@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// The ablations quantify the design choices the paper makes or discusses:
+// how the packetized bandwidth is partitioned between the h and v
+// dimensions, whether the adaptive path choice matters, how sensitive the
+// control plane is to SoC latency, how large the GC group should be
+// (Sec VI-A discusses 1/4 vs 1/2), and how the Omnibus organization
+// scales to non-square grids (Sec V-E).
+
+// AblationRow is one configuration's result.
+type AblationRow struct {
+	Name    string
+	Latency sim.Time
+	P99     sim.Time
+	Detail  string
+}
+
+// pnSSDTraceRun builds a pnSSD variant via mk, replays a trace, and
+// returns metrics.
+func pnSSDTraceRun(opt Options, trace string, churn float64, mode ftl.GCMode,
+	mk func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric) (*ssd.SSD, AblationRow) {
+	cfg := *opt.Cfg
+	if mode != ftl.GCNone {
+		cfg = gcCfg(opt)
+	}
+	cfg.FTL.GCMode = mode
+	s := ssd.NewCustom(ssd.ArchPnSSD, cfg, mk)
+	warm(s, churn, opt.Seed)
+	tr, err := workload.Named(trace, s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+	if err != nil {
+		panic(err)
+	}
+	s.Host.Replay(tr.Requests)
+	s.Run()
+	m := s.Metrics()
+	return s, AblationRow{Latency: m.MeanLatency(), P99: m.Combined().P99()}
+}
+
+// AblationVWidth sweeps the v-channel width while holding the h-channel
+// at 8 bits: how much of the packetized bandwidth budget should the
+// vertical dimension get?
+func AblationVWidth(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, vBits := range []int{2, 4, 8, 16} {
+		vBits := vBits
+		_, row := pnSSDTraceRun(opt, "exchange-1", 0, ftl.GCNone,
+			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
+				return controller.NewOmnibusFabricAsym(eng, "pnssd", grid, soc, pageSize, 8, vBits, opt.Cfg.BusMTps, false)
+			})
+		row.Name = fmt.Sprintf("v-width %d bits", vBits)
+		row.Detail = "h fixed at 8 bits, exchange-1, no GC"
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationRouting compares h-only routing, greedy adaptive, and
+// adaptive+split on the imbalanced trace.
+func AblationRouting(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	type variant struct {
+		name  string
+		split bool
+		route controller.RoutePolicy
+	}
+	var rows []AblationRow
+	for _, v := range []variant{
+		{"h-only (no path diversity)", false, controller.RouteHOnly},
+		{"greedy (paper)", false, controller.RouteGreedy},
+		{"greedy + split (paper)", true, controller.RouteGreedy},
+		{"join-shortest-queue (future work)", false, controller.RouteJSQ},
+		{"JSQ + split", true, controller.RouteJSQ},
+	} {
+		v := v
+		_, row := pnSSDTraceRun(opt, "search-0", 0, ftl.GCNone,
+			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
+				f := controller.NewOmnibusFabric(eng, "pnssd", grid, soc, pageSize, 8, opt.Cfg.BusMTps, v.split)
+				f.SetRoutePolicy(v.route)
+				return f
+			})
+		row.Name = v.name
+		row.Detail = "search-0 (extreme read skew), no GC"
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationEccFallback sweeps the on-die ECC failure rate of direct
+// flash-to-flash copies (the hybrid-ECC design of Sec VIII): every
+// flagged page re-routes through the controller's strong LDPC, eroding
+// the isolation SpGC buys.
+func AblationEccFallback(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, rate := range []float64{0, 0.01, 0.1, 0.5, 1.0} {
+		rate := rate
+		var fab *controller.OmnibusFabric
+		cfg := gcCfg(opt)
+		cfg.FTL.GCMode = ftl.GCSpatial
+		s := ssd.NewCustom(ssd.ArchPnSSD, cfg,
+			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
+				fab = controller.NewOmnibusFabric(eng, "pnssd", grid, soc, pageSize, 8, opt.Cfg.BusMTps, false)
+				fab.SetOnDieEccFailRate(rate)
+				return fab
+			})
+		warm(s, opt.ChurnFraction, opt.Seed)
+		tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+		if err != nil {
+			panic(err)
+		}
+		s.Host.Replay(tr.Requests)
+		s.Run()
+		m := s.Metrics()
+		rows = append(rows, AblationRow{
+			Name:    fmt.Sprintf("on-die ECC fail %.0f%%", rate*100),
+			Latency: m.MeanLatency(),
+			P99:     m.Combined().P99(),
+			Detail:  fmt.Sprintf("rocksdb-0 + SpGC, %d copies relayed for strong ECC", fab.EccFallbacks()),
+		})
+	}
+	return rows
+}
+
+// AblationCtrlLatency sweeps the control-plane message latency: how slow
+// can the controller-to-controller request/grant path get before the
+// v-channel stops paying off?
+func AblationCtrlLatency(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, d := range []sim.Time{0, 100 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond, 10 * sim.Microsecond} {
+		d := d
+		_, row := pnSSDTraceRun(opt, "exchange-1", 0, ftl.GCNone,
+			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
+				soc.SetCtrlMsgLatency(d)
+				return controller.NewOmnibusFabric(eng, "pnssd", grid, soc, pageSize, 8, opt.Cfg.BusMTps, true)
+			})
+		row.Name = fmt.Sprintf("ctrl msg %v", d)
+		row.Detail = "exchange-1, adaptive+split"
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationGCGroup sweeps the SpGC GC-group fraction (Sec VI-A: a 1/4
+// group trades more frequent collection for better read isolation).
+func AblationGCGroup(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		cfg := gcCfg(opt)
+		cfg.FTL.GCMode = ftl.GCSpatial
+		cfg.FTL.GCGroupFraction = frac
+		s := build(ssd.ArchPnSSDSplit, cfg, ftl.GCSpatial, ftl.PCWD)
+		warm(s, opt.ChurnFraction, opt.Seed)
+		tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+		if err != nil {
+			panic(err)
+		}
+		s.Host.Replay(tr.Requests)
+		s.Run()
+		m := s.Metrics()
+		st := s.FTL.Stats()
+		rows = append(rows, AblationRow{
+			Name:    fmt.Sprintf("GC group %.0f%%", frac*100),
+			Latency: m.MeanLatency(),
+			P99:     m.Combined().P99(),
+			Detail:  fmt.Sprintf("rocksdb-0, %d GC rounds, %d copies", st.GCRounds, st.GCPagesCopied),
+		})
+	}
+	return rows
+}
+
+// AblationOrganization compares square and non-square Omnibus grids at a
+// constant 64-chip budget (Sec V-E scaling).
+func AblationOrganization(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, org := range []struct{ ch, ways int }{{4, 16}, {8, 8}, {16, 4}} {
+		cfg := *opt.Cfg
+		cfg.Channels, cfg.Ways = org.ch, org.ways
+		s := build(ssd.ArchPnSSDSplit, cfg, ftl.GCNone, ftl.PCWD)
+		warm(s, 0, opt.Seed)
+		tr, err := workload.Named("exchange-1", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+		if err != nil {
+			panic(err)
+		}
+		s.Host.Replay(tr.Requests)
+		s.Run()
+		m := s.Metrics()
+		omni := s.Fabric.(*controller.OmnibusFabric)
+		rows = append(rows, AblationRow{
+			Name:    fmt.Sprintf("%d channels x %d ways", org.ch, org.ways),
+			Latency: m.MeanLatency(),
+			P99:     m.Combined().P99(),
+			Detail:  fmt.Sprintf("%d v-channels, %d columns each", omni.NumVChannels(), omni.ColumnsPerVChannel()),
+		})
+	}
+	return rows
+}
+
+// AblationVictimPolicy compares greedy and cost-benefit victim selection
+// under skewed churn: cost-benefit should reclaim at equal or lower copy
+// cost by preferring cold, low-valid blocks.
+func AblationVictimPolicy(opt Options) []AblationRow {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, vp := range []ftl.VictimPolicy{ftl.VictimGreedy, ftl.VictimCostBenefit} {
+		cfg := gcCfg(opt)
+		cfg.FTL.GCMode = ftl.GCParallel
+		cfg.FTL.Victim = vp
+		s := build(ssd.ArchPnSSDSplit, cfg, ftl.GCParallel, ftl.PCWD)
+		warm(s, 0, opt.Seed)
+		// Hot/cold overwrite stream: 90% of writes hit 5% of the space, the
+		// regime where age-aware cleaning avoids re-copying hot data. Warm-up
+		// churn is skipped so block ages come entirely from the run itself.
+		tr := workload.Generate("hotcold", workload.Params{
+			ReadRatio:  0.05,
+			ZipfS:      1.6,
+			HotRegions: 16,
+			ReqPages:   2,
+			MeanGap:    40 * sim.Microsecond,
+			Burst:      4,
+		}, s.Config.LogicalPages(), opt.TraceRequests*2, opt.Seed)
+		s.Host.Replay(tr.Requests)
+		s.Run()
+		m := s.Metrics()
+		st := s.FTL.Stats()
+		perBlock := 0.0
+		if st.GCBlocksErased > 0 {
+			perBlock = float64(st.GCPagesCopied) / float64(st.GCBlocksErased)
+		}
+		rows = append(rows, AblationRow{
+			Name:    vp.String(),
+			Latency: m.MeanLatency(),
+			P99:     m.Combined().P99(),
+			Detail:  fmt.Sprintf("hot/cold writes + PaGC, %.1f copies per reclaimed block", perBlock),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+func TestAblationVWidth(t *testing.T) {
+	rows := AblationVWidth(Quick())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Wider v-channels must never hurt; 2-bit v should be the slowest.
+	if rows[0].Latency < rows[len(rows)-1].Latency {
+		t.Fatalf("2-bit v (%v) faster than 16-bit v (%v)", rows[0].Latency, rows[len(rows)-1].Latency)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Latency > rows[i-1].Latency*11/10 {
+			t.Fatalf("latency increased >10%% when widening v: %v -> %v", rows[i-1].Latency, rows[i].Latency)
+		}
+	}
+}
+
+func TestAblationRouting(t *testing.T) {
+	rows := AblationRouting(Quick())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hOnly, greedy, split, jsq := rows[0], rows[1], rows[2], rows[3]
+	// Path diversity must pay on the skewed trace.
+	if greedy.Latency > hOnly.Latency {
+		t.Fatalf("greedy (%v) slower than h-only (%v) under read skew", greedy.Latency, hOnly.Latency)
+	}
+	if split.Latency > hOnly.Latency {
+		t.Fatalf("split (%v) slower than h-only (%v) under read skew", split.Latency, hOnly.Latency)
+	}
+	// The future-work JSQ router should not lose to the paper greedy.
+	if jsq.Latency > greedy.Latency*11/10 {
+		t.Fatalf("JSQ (%v) much slower than greedy (%v)", jsq.Latency, greedy.Latency)
+	}
+}
+
+func TestAblationEccFallback(t *testing.T) {
+	rows := AblationEccFallback(Quick())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At 100%% failure every direct copy relays; with SpGC active the mean
+	// latency must not improve as the failure rate rises.
+	if rows[len(rows)-1].Latency < rows[0].Latency {
+		t.Fatalf("full ECC fallback (%v) faster than none (%v)", rows[len(rows)-1].Latency, rows[0].Latency)
+	}
+	if rows[0].Detail == rows[len(rows)-1].Detail {
+		t.Fatal("fallback counters identical across rates")
+	}
+}
+
+func TestAblationCtrlLatency(t *testing.T) {
+	rows := AblationCtrlLatency(Quick())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Latency should be non-decreasing (within noise) as the control plane
+	// slows: allow small wiggle but the 10us point must be the worst or
+	// near-worst.
+	first, last := rows[0].Latency, rows[len(rows)-1].Latency
+	if last < first {
+		t.Fatalf("10us control plane (%v) faster than free control plane (%v)", last, first)
+	}
+}
+
+func TestAblationGCGroup(t *testing.T) {
+	rows := AblationGCGroup(Quick())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Latency <= 0 {
+			t.Fatalf("%s: zero latency", r.Name)
+		}
+		if r.Detail == "" {
+			t.Fatalf("%s: missing GC stats detail", r.Name)
+		}
+	}
+}
+
+func TestAblationOrganization(t *testing.T) {
+	rows := AblationOrganization(Quick())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The non-square organizations must report their v-channel sharing.
+	if rows[0].Detail == rows[2].Detail {
+		t.Fatal("wide and tall organizations report identical v-channel layout")
+	}
+	for _, r := range rows {
+		if r.Latency <= 0 {
+			t.Fatalf("%s: zero latency", r.Name)
+		}
+	}
+}
+
+func TestContentionProfile(t *testing.T) {
+	rows := Contention(Quick())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byArch := map[ssd.Arch]ContentionRow{}
+	for _, r := range rows {
+		byArch[r.Arch] = r
+		if r.BusiestUtil < 0 || r.BusiestUtil > 1 {
+			t.Fatalf("%v: utilization %v outside [0,1]", r.Arch, r.BusiestUtil)
+		}
+		if r.HMaxWait < r.HMeanWait {
+			t.Fatalf("%v: max wait below mean wait", r.Arch)
+		}
+	}
+	// The skewed read trace must queue hardest on the baseline's shared
+	// 8-bit channels; pSSD's fat channel cuts the mean wait.
+	if byArch[ssd.ArchPSSD].HMeanWait >= byArch[ssd.ArchBase].HMeanWait {
+		t.Fatalf("pSSD h-wait %v not below base %v",
+			byArch[ssd.ArchPSSD].HMeanWait, byArch[ssd.ArchBase].HMeanWait)
+	}
+	// Omnibus fabrics must actually shift some queueing onto v-channels.
+	if byArch[ssd.ArchPnSSD].VMeanWait == 0 && byArch[ssd.ArchPnSSDSplit].VMeanWait == 0 {
+		t.Fatal("no v-channel activity recorded on either Omnibus fabric")
+	}
+}

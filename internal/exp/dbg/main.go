@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ftl"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func run(arch ssd.Arch, mode ftl.GCMode) {
+	c := ssd.ScaledConfig()
+	c.Geometry.BlocksPerPlane = 8
+	c.Geometry.PagesPerBlock = 16
+	c.FTL.GCMode = mode
+	c.LogicalUtilization = 0.75
+	s := ssd.New(arch, c)
+	foot := s.Config.LogicalPages()
+	s.Host.Warmup(foot)
+	headroom := s.Config.RawPages() - foot
+	churn := headroom / 2
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(0); i < churn; i++ {
+		lpn := rng.Int63n(foot)
+		s.FTL.Reinstall(lpn, ftl.TokenFor(lpn, 1))
+	}
+	tr, _ := workload.Named("rocksdb-1", foot, 400, 1)
+	s.Host.Replay(tr.Requests)
+	s.Run()
+	m := s.Metrics()
+	st := s.FTL.Stats()
+	fmt.Printf("%-22s %-10s mean=%-10v meanR=%-10v meanW=%-10v p99=%-10v stalls=%-5d gcRounds=%-3d gcTime=%-10v copied=%d\n",
+		arch, mode, m.MeanLatency(), m.Latency[stats.Read].Mean(), m.Latency[stats.Write].Mean(),
+		m.Combined().P99(), st.WriteStalls, st.GCRounds, st.GCTotalTime, st.GCPagesCopied)
+}
+
+func main() {
+	for _, arch := range []ssd.Arch{ssd.ArchBase, ssd.ArchPSSD, ssd.ArchPnSSD, ssd.ArchPnSSDSplit} {
+		for _, mode := range []ftl.GCMode{ftl.GCParallel, ftl.GCPreemptive, ftl.GCSpatial} {
+			run(arch, mode)
+		}
+	}
+}

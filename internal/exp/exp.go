@@ -1,0 +1,206 @@
+// Package exp contains one runner per table and figure of the paper's
+// evaluation (Sec VII), plus the motivation figures. Each runner builds
+// fresh SSDs, drives the workload the paper describes, and returns typed
+// rows; cmd/experiments renders them as tables and bench_test.go wraps
+// them as benchmarks.
+//
+// Runs use ssd.ScaledConfig: the Table II organization (8 channels × 8
+// ways × 4 planes, 16 KB pages, ULL timing, 1000 MT/s bus) with fewer
+// blocks per plane so whole-device experiments complete in seconds. The
+// interconnect behaviour under study is unaffected; see EXPERIMENTS.md.
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment scale. Zero values select defaults.
+type Options struct {
+	// Cfg is the device configuration; defaults to ssd.ScaledConfig().
+	Cfg *ssd.Config
+	// TraceRequests is the request count per trace replay (default 2000).
+	TraceRequests int
+	// SyntheticRequests is the request count per closed-loop run
+	// (default 300).
+	SyntheticRequests int
+	// ChurnFraction controls warm-up overwrites before GC experiments,
+	// as a fraction of the logical space (default 0.5).
+	ChurnFraction float64
+	// GCUtilization is the logical utilization used for GC experiments
+	// (default 0.75). GC runs need an absolutely larger free pool than the
+	// no-GC runs: the scaled geometry has few blocks per plane, so the
+	// default 87.5% utilization leaves so few erased blocks that a single
+	// collection round's destination allocations plus a write burst
+	// exhaust them and writes stall — an artifact of scaling, not of the
+	// architectures under study.
+	GCUtilization float64
+	// Seed makes every run deterministic (default 1).
+	Seed int64
+	// Traces overrides the trace list (default workload.Names()).
+	Traces []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cfg == nil {
+		c := ssd.ScaledConfig()
+		o.Cfg = &c
+	}
+	if o.TraceRequests == 0 {
+		o.TraceRequests = 2000
+	}
+	if o.SyntheticRequests == 0 {
+		o.SyntheticRequests = 300
+	}
+	if o.ChurnFraction == 0 {
+		o.ChurnFraction = 0.5
+	}
+	if o.GCUtilization == 0 {
+		o.GCUtilization = 0.75
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Traces == nil {
+		o.Traces = workload.Names()
+	}
+	return o
+}
+
+// Quick returns options small enough for unit tests and -short benches.
+func Quick() Options {
+	c := ssd.ScaledConfig()
+	c.Geometry.BlocksPerPlane = 8
+	c.Geometry.PagesPerBlock = 16
+	return Options{
+		Cfg:               &c,
+		TraceRequests:     400,
+		SyntheticRequests: 80,
+		Seed:              1,
+		Traces:            []string{"exchange-1", "rocksdb-0", "mail-0"},
+	}
+}
+
+// build constructs an SSD with the given architecture and GC mode.
+func build(arch ssd.Arch, cfg ssd.Config, mode ftl.GCMode, policy ftl.AllocPolicy) *ssd.SSD {
+	cfg.FTL.GCMode = mode
+	cfg.FTL.Policy = policy
+	return ssd.New(arch, cfg)
+}
+
+// warm installs the full logical footprint; churn then instantly
+// overwrites churnFrac of it (bounded by the free headroom) so blocks
+// carry the invalid pages GC experiments need.
+func warm(s *ssd.SSD, churnFrac float64, seed int64) {
+	foot := s.Config.LogicalPages()
+	s.Host.Warmup(foot)
+	if churnFrac <= 0 {
+		return
+	}
+	headroom := s.Config.RawPages() - foot
+	churn := int64(float64(foot) * churnFrac)
+	// Churn consumes free pages one-for-one; cap it at half the headroom
+	// so the device enters the measured run with a working free pool —
+	// GC needs erased blocks for copy destinations and the host keeps
+	// writing while rounds are in flight.
+	if limit := headroom / 2; churn > limit {
+		churn = limit
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := int64(0); i < churn; i++ {
+		lpn := rng.Int63n(foot)
+		s.FTL.Reinstall(lpn, ftl.TokenFor(lpn, 1))
+	}
+}
+
+// replayTrace replays a named trace on a fresh SSD and returns the host
+// metrics and FTL stats.
+func replayTrace(arch ssd.Arch, cfg ssd.Config, mode ftl.GCMode, trace string, n int, churn float64, seed int64) (*stats.IOMetrics, ftl.Stats) {
+	s := build(arch, cfg, mode, ftl.PCWD)
+	warm(s, churn, seed)
+	tr, err := workload.Named(trace, s.Config.LogicalPages(), n, seed)
+	if err != nil {
+		panic(err)
+	}
+	s.Host.Replay(tr.Requests)
+	s.Run()
+	return s.Metrics(), s.FTL.Stats()
+}
+
+// runClosedLoop drives a synthetic pattern with a fixed outstanding depth.
+func runClosedLoop(arch ssd.Arch, cfg ssd.Config, policy ftl.AllocPolicy, p workload.Pattern, outstanding, total int, seed int64) *stats.IOMetrics {
+	s := build(arch, cfg, ftl.GCNone, policy)
+	warm(s, 0, seed)
+	gen := workload.Synthetic(p, s.Config.LogicalPages(), 4, seed) // 64 KB requests
+	s.Host.RunClosedLoop(gen, outstanding, total)
+	s.Run()
+	return s.Metrics()
+}
+
+// gcCfg returns the device configuration for GC experiments: the base
+// config at the (lower) GC utilization so the free pool is large enough,
+// in absolute blocks, for collection and host writes to proceed
+// concurrently at the scaled-down geometry.
+func gcCfg(opt Options) ssd.Config {
+	cfg := *opt.Cfg
+	cfg.LogicalUtilization = opt.GCUtilization
+	return cfg
+}
+
+// forceContinuousGC re-triggers collection for the whole run so I/O always
+// contends with GC (the Fig 18 setup: "GC is performed while I/Os are
+// being serviced").
+func forceContinuousGC(s *ssd.SSD) {
+	var retrigger func()
+	retrigger = func() {
+		if s.Host.InFlight() == 0 {
+			return // workload drained; let the run end
+		}
+		if !s.FTL.GCActive() {
+			s.FTL.TriggerGC(func() {
+				s.Engine.Schedule(10*sim.Microsecond, retrigger)
+			})
+			return
+		}
+		s.Engine.Schedule(10*sim.Microsecond, retrigger)
+	}
+	s.Engine.Schedule(sim.Microsecond, retrigger)
+}
+
+// improvement converts a latency pair into the paper's "I/O performance
+// improvement" metric: base latency / new latency - 1.
+func improvement(base, other sim.Time) float64 {
+	if other == 0 {
+		return 0
+	}
+	return float64(base)/float64(other) - 1
+}
+
+// speedup is base/other.
+func speedup(base, other sim.Time) float64 {
+	if other == 0 {
+		return 0
+	}
+	return float64(base) / float64(other)
+}
+
+// geomean returns the geometric mean of positive values; zero for empty.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vs)))
+}

@@ -1,0 +1,427 @@
+// Package flash models NAND flash memory chips: the die/plane/block/page
+// geometry, array operation timing (tR, tPROG, tBERS), multi-plane
+// commands, per-plane page registers, and the pnSSD additions — V-page
+// registers and the on-die controller that decodes packets into internal
+// control signals (Fig 7 of the paper).
+//
+// Page contents are modelled as 64-bit tokens rather than full 16 KB
+// buffers, which lets every copy path (host write, controller-mediated GC
+// copy, direct flash-to-flash v-channel copy) be verified end to end while
+// keeping simulations of multi-million-page devices cheap.
+package flash
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Geometry describes one chip. The paper's Table II uses 1 die, 4 planes,
+// 1024 blocks per plane, 512 pages per block, 16 KB pages.
+type Geometry struct {
+	Planes         int
+	BlocksPerPlane int
+	PagesPerBlock  int
+	PageSize       int // bytes
+}
+
+// Validate panics on a malformed geometry.
+func (g Geometry) Validate() {
+	if g.Planes <= 0 || g.BlocksPerPlane <= 0 || g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+		panic(fmt.Sprintf("flash: invalid geometry %+v", g))
+	}
+}
+
+// PagesPerChip returns the total page count.
+func (g Geometry) PagesPerChip() int {
+	return g.Planes * g.BlocksPerPlane * g.PagesPerBlock
+}
+
+// CapacityBytes returns the chip capacity.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.PagesPerChip()) * int64(g.PageSize)
+}
+
+// Timing holds the array operation latencies. Table II uses the ULL
+// parameters: read 3 us, program 50 us, erase 1 ms.
+type Timing struct {
+	Read    sim.Time
+	Program sim.Time
+	Erase   sim.Time
+}
+
+// ULLTiming returns the ultra-low-latency flash parameters from Table II.
+func ULLTiming() Timing {
+	return Timing{
+		Read:    3 * sim.Microsecond,
+		Program: 50 * sim.Microsecond,
+		Erase:   sim.Millisecond,
+	}
+}
+
+// PPA is a physical page address within one chip.
+type PPA struct {
+	Plane int
+	Block int
+	Page  int
+}
+
+// String formats the address.
+func (a PPA) String() string { return fmt.Sprintf("p%d/b%d/pg%d", a.Plane, a.Block, a.Page) }
+
+// PackRow encodes a PPA into the 24-bit row address carried by control
+// packets: plane in the top bits, then block, then page.
+func (g Geometry) PackRow(a PPA) uint32 {
+	g.checkPPA(a)
+	return uint32(a.Plane)<<20 | uint32(a.Block)<<9 | uint32(a.Page)
+}
+
+// UnpackRow decodes a 24-bit row address back into a PPA.
+func (g Geometry) UnpackRow(row uint32) PPA {
+	a := PPA{
+		Plane: int(row >> 20 & 0xF),
+		Block: int(row >> 9 & 0x7FF),
+		Page:  int(row & 0x1FF),
+	}
+	g.checkPPA(a)
+	return a
+}
+
+func (g Geometry) checkPPA(a PPA) {
+	if a.Plane < 0 || a.Plane >= g.Planes ||
+		a.Block < 0 || a.Block >= g.BlocksPerPlane ||
+		a.Page < 0 || a.Page >= g.PagesPerBlock {
+		panic(fmt.Sprintf("flash: PPA %v outside geometry %+v", a, g))
+	}
+}
+
+// PageState is the lifecycle state of one physical page.
+type PageState uint8
+
+// Page states.
+const (
+	PageErased PageState = iota
+	PageProgrammed
+)
+
+// Token is a page content token: a 64-bit stand-in for 16 KB of data.
+type Token uint64
+
+// ErasedToken is the content of an erased (all-ones) page.
+const ErasedToken Token = 0
+
+// Chip is one flash memory chip: a single die with multiple planes. Array
+// operations serialize on the die; multi-plane commands run one array
+// operation covering several planes at once.
+type Chip struct {
+	eng    *sim.Engine
+	name   string
+	geo    Geometry
+	timing Timing
+
+	die *sim.Resource // array busy; R/B_n abstraction
+
+	pageReg    []Token // per-plane page registers
+	vpage      []Token // pnSSD V-page registers (2 in the paper)
+	vpageInUse []bool
+
+	content    [][]Token // [plane][block*pagesPerBlock+page]
+	state      [][]PageState
+	nextPage   [][]int // per [plane][block]: next programmable page index
+	eraseCount [][]int
+
+	reads, programs, erases int64
+}
+
+// NumVPageRegisters is the count of extra V-page registers the pnSSD
+// on-die data-plane adds (the paper's cost discussion assumes two).
+const NumVPageRegisters = 2
+
+// NewChip builds an erased chip.
+func NewChip(eng *sim.Engine, name string, geo Geometry, timing Timing) *Chip {
+	geo.Validate()
+	c := &Chip{
+		eng:        eng,
+		name:       name,
+		geo:        geo,
+		timing:     timing,
+		die:        sim.NewResource(eng, name+"/die"),
+		pageReg:    make([]Token, geo.Planes),
+		vpage:      make([]Token, NumVPageRegisters),
+		vpageInUse: make([]bool, NumVPageRegisters),
+	}
+	c.content = make([][]Token, geo.Planes)
+	c.state = make([][]PageState, geo.Planes)
+	c.nextPage = make([][]int, geo.Planes)
+	c.eraseCount = make([][]int, geo.Planes)
+	for p := 0; p < geo.Planes; p++ {
+		c.content[p] = make([]Token, geo.BlocksPerPlane*geo.PagesPerBlock)
+		c.state[p] = make([]PageState, geo.BlocksPerPlane*geo.PagesPerBlock)
+		c.nextPage[p] = make([]int, geo.BlocksPerPlane)
+		c.eraseCount[p] = make([]int, geo.BlocksPerPlane)
+	}
+	return c
+}
+
+// Name returns the chip name.
+func (c *Chip) Name() string { return c.name }
+
+// Geometry returns the chip geometry.
+func (c *Chip) Geometry() Geometry { return c.geo }
+
+// Timing returns the array timing.
+func (c *Chip) Timing() Timing { return c.timing }
+
+// Busy reports whether the die is executing an array operation — the R/B_n
+// pin abstraction.
+func (c *Chip) Busy() bool { return c.die.Busy() }
+
+// QueueLen reports array operations waiting behind the current one.
+func (c *Chip) QueueLen() int { return c.die.QueueLen() }
+
+// Counters returns (reads, programs, erases) executed.
+func (c *Chip) Counters() (reads, programs, erases int64) {
+	return c.reads, c.programs, c.erases
+}
+
+func (c *Chip) pageIndex(a PPA) int { return a.Block*c.geo.PagesPerBlock + a.Page }
+
+// PageStateAt returns the lifecycle state of a page.
+func (c *Chip) PageStateAt(a PPA) PageState {
+	c.geo.checkPPA(a)
+	return c.state[a.Plane][c.pageIndex(a)]
+}
+
+// ContentAt returns the stored token of a page (for verification).
+func (c *Chip) ContentAt(a PPA) Token {
+	c.geo.checkPPA(a)
+	return c.content[a.Plane][c.pageIndex(a)]
+}
+
+// EraseCount returns the P/E cycle count of a block.
+func (c *Chip) EraseCount(plane, block int) int {
+	c.geo.checkPPA(PPA{Plane: plane, Block: block})
+	return c.eraseCount[plane][block]
+}
+
+// checkMultiPlane validates a multi-plane address vector: non-empty,
+// distinct planes, within geometry.
+func (c *Chip) checkMultiPlane(ppas []PPA) {
+	if len(ppas) == 0 || len(ppas) > c.geo.Planes {
+		panic(fmt.Sprintf("flash %s: multi-plane op with %d addresses", c.name, len(ppas)))
+	}
+	seen := 0
+	for _, a := range ppas {
+		c.geo.checkPPA(a)
+		bit := 1 << a.Plane
+		if seen&bit != 0 {
+			panic(fmt.Sprintf("flash %s: duplicate plane %d in multi-plane op", c.name, a.Plane))
+		}
+		seen |= bit
+	}
+}
+
+// Read performs a (multi-plane) page read: after tR the addressed pages'
+// contents sit in their planes' page registers and done runs. The die is
+// busy for the duration.
+func (c *Chip) Read(ppas []PPA, done func()) {
+	c.checkMultiPlane(ppas)
+	for _, a := range ppas {
+		if c.state[a.Plane][c.pageIndex(a)] != PageProgrammed {
+			panic(fmt.Sprintf("flash %s: read of unprogrammed page %v", c.name, a))
+		}
+	}
+	addrs := append([]PPA(nil), ppas...)
+	c.die.Acquire(func() {
+		c.eng.Schedule(c.timing.Read, func() {
+			for _, a := range addrs {
+				c.pageReg[a.Plane] = c.content[a.Plane][c.pageIndex(a)]
+			}
+			c.reads++
+			c.die.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// ProgramOp names a target page and the token to program into it.
+type ProgramOp struct {
+	Addr  PPA
+	Token Token
+}
+
+// Program performs a (multi-plane) page program from supplied tokens. The
+// target pages must be erased. NAND's program-in-order rule within a block
+// is enforced by the FTL allocator, which hands out pages sequentially;
+// the chip itself tolerates out-of-order arrival because multi-path
+// fabrics (Omnibus adaptive routing, the mesh) can reorder in-flight
+// programs that were issued in order.
+func (c *Chip) Program(ops []ProgramOp, done func()) {
+	ppas := make([]PPA, len(ops))
+	for i, op := range ops {
+		ppas[i] = op.Addr
+	}
+	c.checkMultiPlane(ppas)
+	for _, op := range ops {
+		a := op.Addr
+		if c.state[a.Plane][c.pageIndex(a)] != PageErased {
+			panic(fmt.Sprintf("flash %s: program of non-erased page %v", c.name, a))
+		}
+	}
+	writes := append([]ProgramOp(nil), ops...)
+	// State is committed at issue time so a read queued behind this program
+	// on the die validates against the state it will observe at grant.
+	for _, op := range writes {
+		c.nextPage[op.Addr.Plane][op.Addr.Block]++
+		c.state[op.Addr.Plane][c.pageIndex(op.Addr)] = PageProgrammed
+	}
+	c.die.Acquire(func() {
+		c.eng.Schedule(c.timing.Program, func() {
+			for _, op := range writes {
+				c.content[op.Addr.Plane][c.pageIndex(op.Addr)] = op.Token
+			}
+			c.programs++
+			c.die.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// ProgramFromVPage programs a V-page register's content into the array —
+// the commit step of a flash-to-flash copy (OpVCommit). The register is
+// freed when the program completes.
+func (c *Chip) ProgramFromVPage(reg int, addr PPA, done func()) {
+	c.checkVReg(reg)
+	if !c.vpageInUse[reg] {
+		panic(fmt.Sprintf("flash %s: VCommit from empty V-page register %d", c.name, reg))
+	}
+	token := c.vpage[reg]
+	c.Program([]ProgramOp{{Addr: addr, Token: token}}, func() {
+		c.vpageInUse[reg] = false
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Erase erases one block per addressed plane (multi-plane erase). All
+// pages return to the erased state and the block's P/E count increments.
+func (c *Chip) Erase(blocks []PPA, done func()) {
+	for i := range blocks {
+		blocks[i].Page = 0
+	}
+	c.checkMultiPlane(blocks)
+	targets := append([]PPA(nil), blocks...)
+	c.die.Acquire(func() {
+		c.eng.Schedule(c.timing.Erase, func() {
+			for _, a := range targets {
+				base := a.Block * c.geo.PagesPerBlock
+				for p := 0; p < c.geo.PagesPerBlock; p++ {
+					c.state[a.Plane][base+p] = PageErased
+					c.content[a.Plane][base+p] = ErasedToken
+				}
+				c.nextPage[a.Plane][a.Block] = 0
+				c.eraseCount[a.Plane][a.Block]++
+			}
+			c.erases++
+			c.die.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// PageRegister returns the content of a plane's page register.
+func (c *Chip) PageRegister(plane int) Token {
+	if plane < 0 || plane >= c.geo.Planes {
+		panic(fmt.Sprintf("flash %s: plane %d out of range", c.name, plane))
+	}
+	return c.pageReg[plane]
+}
+
+// SetPageRegister loads a plane's page register, modelling payload arrival
+// from the channel ahead of a program.
+func (c *Chip) SetPageRegister(plane int, t Token) {
+	if plane < 0 || plane >= c.geo.Planes {
+		panic(fmt.Sprintf("flash %s: plane %d out of range", c.name, plane))
+	}
+	c.pageReg[plane] = t
+}
+
+func (c *Chip) checkVReg(reg int) {
+	if reg < 0 || reg >= len(c.vpage) {
+		panic(fmt.Sprintf("flash %s: V-page register %d out of range", c.name, reg))
+	}
+}
+
+// AcquireVPage claims a free V-page register, returning its index or -1
+// when both are held — the buffer-status check the Omnibus control plane
+// performs before granting a v-channel transfer (Fig 11).
+func (c *Chip) AcquireVPage() int {
+	for i, used := range c.vpageInUse {
+		if !used {
+			c.vpageInUse[i] = true
+			return i
+		}
+	}
+	return -1
+}
+
+// VPageFree reports whether any V-page register is free.
+func (c *Chip) VPageFree() bool {
+	for _, used := range c.vpageInUse {
+		if !used {
+			return true
+		}
+	}
+	return false
+}
+
+// SetVPage stores payload arriving over a v-channel into a claimed V-page
+// register.
+func (c *Chip) SetVPage(reg int, t Token) {
+	c.checkVReg(reg)
+	if !c.vpageInUse[reg] {
+		panic(fmt.Sprintf("flash %s: store into unclaimed V-page register %d", c.name, reg))
+	}
+	c.vpage[reg] = t
+}
+
+// VPage returns a V-page register's content.
+func (c *Chip) VPage(reg int) Token {
+	c.checkVReg(reg)
+	return c.vpage[reg]
+}
+
+// ReleaseVPage frees a claimed register without committing it (abort path).
+func (c *Chip) ReleaseVPage(reg int) {
+	c.checkVReg(reg)
+	if !c.vpageInUse[reg] {
+		panic(fmt.Sprintf("flash %s: release of unclaimed V-page register %d", c.name, reg))
+	}
+	c.vpageInUse[reg] = false
+}
+
+// InstallPage instantly programs a page with no simulated time, for
+// warming up device state before a measured run. It bypasses the die and
+// must not be called once simulation I/O is in flight.
+func (c *Chip) InstallPage(a PPA, t Token) {
+	c.geo.checkPPA(a)
+	if c.state[a.Plane][c.pageIndex(a)] != PageErased {
+		panic(fmt.Sprintf("flash %s: install over programmed page %v", c.name, a))
+	}
+	c.state[a.Plane][c.pageIndex(a)] = PageProgrammed
+	c.content[a.Plane][c.pageIndex(a)] = t
+	c.nextPage[a.Plane][a.Block]++
+}
+
+// Address converts a PPA to the on-wire packet address.
+func (c *Chip) Address(a PPA) packet.Address {
+	return packet.Address{Column: 0, Row: c.geo.PackRow(a)}
+}

@@ -1,0 +1,196 @@
+package flash
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// OnDieController is the packet-decoding state machine pSSD adds to each
+// flash chip (Fig 7(b)). It receives encoded packets from the channel,
+// decodes them after a small fixed latency (the internal FIFO + decode
+// pipeline), and drives the unmodified flash array with the equivalent
+// internal control signals.
+//
+// Protocol state: a program or v-transfer-in control packet arms the
+// controller to consume the next data packet; everything else completes
+// from the control packet alone.
+type OnDieController struct {
+	eng    *sim.Engine
+	chip   *Chip
+	decode sim.Time
+
+	// armed program: the next data packet programs this address.
+	pendingProgram *PPA
+	// armed v-transfer-in: the next ToVPage data packet lands in this register.
+	pendingVReg int
+
+	packetsDecoded int64
+}
+
+// DefaultDecodeLatency models the FIFO-and-state-machine decode cost per
+// packet.
+const DefaultDecodeLatency = 4 * sim.Nanosecond
+
+// NewOnDieController attaches a controller to a chip.
+func NewOnDieController(eng *sim.Engine, chip *Chip) *OnDieController {
+	return &OnDieController{eng: eng, chip: chip, decode: DefaultDecodeLatency, pendingVReg: -1}
+}
+
+// PacketsDecoded returns the number of packets processed.
+func (o *OnDieController) PacketsDecoded() int64 { return o.packetsDecoded }
+
+// TokenPayload encodes a page content token as a data packet payload. Real
+// hardware would move 16 KB; the simulator moves the 8-byte token and
+// models the 16 KB serialization time on the channel.
+func TokenPayload(t Token) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(t))
+	return b
+}
+
+// PayloadToken decodes a data packet payload back into a token.
+func PayloadToken(b []byte) Token {
+	if len(b) < 8 {
+		panic("flash: short token payload")
+	}
+	return Token(binary.LittleEndian.Uint64(b))
+}
+
+// Submit delivers one encoded packet. reply, if the packet elicits data
+// (OpReadXfer, OpVXferOut), receives the encoded response packet. ready
+// fires when the triggered array operation completes (the R/B_n
+// transition); packets that trigger no array operation fire ready as soon
+// as decoding finishes.
+func (o *OnDieController) Submit(encoded []byte, reply func([]byte), ready func()) error {
+	ty, err := packet.PeekType(encoded)
+	if err != nil {
+		return fmt.Errorf("flash %s: %w", o.chip.Name(), err)
+	}
+	switch ty {
+	case packet.TypeControl:
+		ctrl, _, err := packet.DecodeControl(encoded)
+		if err != nil {
+			return fmt.Errorf("flash %s: %w", o.chip.Name(), err)
+		}
+		o.eng.Schedule(o.decode, func() {
+			o.packetsDecoded++
+			o.execControl(ctrl, reply, ready)
+		})
+	case packet.TypeData:
+		data, _, err := packet.DecodeData(encoded)
+		if err != nil {
+			return fmt.Errorf("flash %s: %w", o.chip.Name(), err)
+		}
+		o.eng.Schedule(o.decode, func() {
+			o.packetsDecoded++
+			o.execData(data, ready)
+		})
+	}
+	return nil
+}
+
+func (o *OnDieController) execControl(c packet.Control, reply func([]byte), ready func()) {
+	addr := o.chip.Geometry().UnpackRow(c.Addr.Row)
+	fire := func() {
+		if ready != nil {
+			ready()
+		}
+	}
+	switch {
+	case matchOps(c.Commands, packet.OpReadFirst, packet.OpReadSecond):
+		o.chip.Read([]PPA{addr}, fire)
+
+	case matchOps(c.Commands, packet.OpReadXfer):
+		// Stream the page register back as a data packet.
+		tok := o.chip.PageRegister(addr.Plane)
+		resp, err := (packet.Data{Payload: TokenPayload(tok)}).Encode()
+		if err != nil {
+			panic(err)
+		}
+		if reply != nil {
+			reply(resp)
+		}
+		fire()
+
+	case matchOps(c.Commands, packet.OpProgram, packet.OpProgramConfirm):
+		// Arm: the payload arrives as the next data packet.
+		a := addr
+		o.pendingProgram = &a
+		fire()
+
+	case matchOps(c.Commands, packet.OpErase, packet.OpEraseConfirm):
+		o.chip.Erase([]PPA{addr}, fire)
+
+	case matchOps(c.Commands, packet.OpVXferOut):
+		// Push the page register onto the v-channel as a ToVPage data packet.
+		tok := o.chip.PageRegister(addr.Plane)
+		resp, err := (packet.Data{ToVPage: true, Payload: TokenPayload(tok)}).Encode()
+		if err != nil {
+			panic(err)
+		}
+		if reply != nil {
+			reply(resp)
+		}
+		fire()
+
+	case matchOps(c.Commands, packet.OpVXferIn):
+		reg := o.chip.AcquireVPage()
+		if reg < 0 {
+			panic(fmt.Sprintf("flash %s: VXferIn with no free V-page register (control plane must check buffer status first)", o.chip.Name()))
+		}
+		o.pendingVReg = reg
+		fire()
+
+	case matchOps(c.Commands, packet.OpVCommit):
+		if o.pendingVReg < 0 {
+			panic(fmt.Sprintf("flash %s: VCommit with no latched V-page register", o.chip.Name()))
+		}
+		reg := o.pendingVReg
+		o.pendingVReg = -1
+		o.chip.ProgramFromVPage(reg, addr, fire)
+
+	default:
+		panic(fmt.Sprintf("flash %s: unknown command sequence %x", o.chip.Name(), c.Commands))
+	}
+}
+
+func (o *OnDieController) execData(d packet.Data, ready func()) {
+	fire := func() {
+		if ready != nil {
+			ready()
+		}
+	}
+	switch {
+	case d.ToVPage:
+		if o.pendingVReg < 0 {
+			panic(fmt.Sprintf("flash %s: ToVPage data with no armed VXferIn", o.chip.Name()))
+		}
+		o.chip.SetVPage(o.pendingVReg, PayloadToken(d.Payload))
+		fire()
+
+	case o.pendingProgram != nil:
+		addr := *o.pendingProgram
+		o.pendingProgram = nil
+		tok := PayloadToken(d.Payload)
+		o.chip.SetPageRegister(addr.Plane, tok)
+		o.chip.Program([]ProgramOp{{Addr: addr, Token: tok}}, fire)
+
+	default:
+		panic(fmt.Sprintf("flash %s: unexpected data packet (no armed program)", o.chip.Name()))
+	}
+}
+
+func matchOps(got []uint8, want ...uint8) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

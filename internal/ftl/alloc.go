@@ -1,0 +1,239 @@
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/flash"
+)
+
+// Dim is one striping dimension of the page allocation policy.
+type Dim int
+
+// Striping dimensions. The paper's configurations have one die per chip,
+// so the D in PCWD/PWCD is degenerate and omitted here.
+const (
+	DimPlane Dim = iota
+	DimChannel
+	DimWay
+)
+
+// AllocPolicy orders the striping dimensions from fastest-varying to
+// slowest. Consecutively written pages advance along the first dimension
+// first.
+type AllocPolicy struct {
+	Order [3]Dim
+	name  string
+}
+
+// PCWD is the plane-channel-way-die policy of Fig 16: a 4-page request
+// fills one chip's planes (a multi-plane program) and consecutive requests
+// stripe across channels, balancing channel load.
+var PCWD = AllocPolicy{Order: [3]Dim{DimPlane, DimChannel, DimWay}, name: "PCWD"}
+
+// PWCD is the plane-way-channel-die policy of Fig 17: consecutive requests
+// stripe across the ways of one channel before moving to the next channel,
+// concentrating load and creating the imbalance the paper uses to show off
+// path diversity.
+var PWCD = AllocPolicy{Order: [3]Dim{DimPlane, DimWay, DimChannel}, name: "PWCD"}
+
+// String returns the policy mnemonic.
+func (p AllocPolicy) String() string {
+	if p.name != "" {
+		return p.name
+	}
+	return fmt.Sprintf("policy%v", p.Order)
+}
+
+// BlockState is the lifecycle of one block as the FTL sees it.
+type BlockState uint8
+
+// Block states.
+const (
+	BlockFree BlockState = iota
+	BlockActive
+	BlockFull
+	BlockErasing
+)
+
+// blockInfo is the FTL's bookkeeping for one physical block.
+type blockInfo struct {
+	state      BlockState
+	validCount int32
+	inflight   int32 // writes issued but not yet completed
+	readRefs   int32 // host reads issued but not yet completed; gates erase
+	// lastWrite is the time of the most recent program into this block,
+	// the age signal cost-benefit victim selection uses.
+	lastWrite int64
+}
+
+// planeState manages block allocation within one (chip, plane). Host
+// writes and GC copies fill separate active blocks so a collection round
+// consumes free blocks at the rate it erases them instead of opening a
+// fresh block in every plane it scatters copies into.
+type planeState struct {
+	pagesPerBlock int
+	free          []int // erased block indices, LIFO
+	active        int   // block currently filled by host writes, -1 if none
+	nextPage      int
+	gcActive      int // block currently filled by GC copies, -1 if none
+	gcNextPage    int
+	blocks        []blockInfo
+}
+
+func newPlaneState(blocks, pagesPerBlock int) *planeState {
+	ps := &planeState{pagesPerBlock: pagesPerBlock, active: -1, gcActive: -1, blocks: make([]blockInfo, blocks)}
+	// Reverse order so block 0 is popped first, which keeps layouts easy
+	// to reason about in tests.
+	for b := blocks - 1; b >= 0; b-- {
+		ps.free = append(ps.free, b)
+	}
+	return ps
+}
+
+// hasSpace reports whether at least one more page can be allocated.
+func (ps *planeState) hasSpace() bool { return ps.active >= 0 || len(ps.free) > 0 }
+
+// freeBlocks returns the count of fully erased blocks.
+func (ps *planeState) freeBlocks() int { return len(ps.free) }
+
+// allocate returns the next (block, page) in sequence; callers must check
+// hasSpace first.
+func (ps *planeState) allocate() (block, page int) {
+	if ps.active < 0 {
+		n := len(ps.free)
+		if n == 0 {
+			panic("ftl: allocate on full plane")
+		}
+		ps.active = ps.free[n-1]
+		ps.free = ps.free[:n-1]
+		ps.nextPage = 0
+		ps.blocks[ps.active].state = BlockActive
+	}
+	block, page = ps.active, ps.nextPage
+	ps.nextPage++
+	if ps.nextPage == ps.pagesPerBlock {
+		ps.blocks[ps.active].state = BlockFull
+		ps.active = -1
+	}
+	return block, page
+}
+
+// hasGCSpace reports whether a GC copy destination can be allocated
+// without stealing the host's open block.
+func (ps *planeState) hasGCSpace() bool { return ps.gcActive >= 0 || len(ps.free) > 0 }
+
+// gcOpen reports whether a GC destination block is already open, which
+// the destination chooser prefers so copies stream into few blocks.
+func (ps *planeState) gcOpen() bool { return ps.gcActive >= 0 }
+
+// allocateGC returns the next (block, page) of the plane's GC stream;
+// callers must check hasGCSpace first.
+func (ps *planeState) allocateGC() (block, page int) {
+	if ps.gcActive < 0 {
+		n := len(ps.free)
+		if n == 0 {
+			panic("ftl: allocateGC on plane with no space")
+		}
+		ps.gcActive = ps.free[n-1]
+		ps.free = ps.free[:n-1]
+		ps.gcNextPage = 0
+		ps.blocks[ps.gcActive].state = BlockActive
+	}
+	block, page = ps.gcActive, ps.gcNextPage
+	ps.gcNextPage++
+	if ps.gcNextPage == ps.pagesPerBlock {
+		ps.blocks[ps.gcActive].state = BlockFull
+		ps.gcActive = -1
+	}
+	return block, page
+}
+
+// slot is one (chip, plane) allocation target.
+type slot struct {
+	chip  controller.ChipID
+	plane int
+}
+
+// allocator walks (plane, channel, way) space in policy order, skipping
+// slots the supplied filter rejects and slots with no space.
+type allocator struct {
+	policy   AllocPolicy
+	channels int
+	ways     int
+	planes   int
+	cursor   int
+	total    int
+}
+
+func newAllocator(policy AllocPolicy, channels, ways, planes int) *allocator {
+	return &allocator{
+		policy:   policy,
+		channels: channels,
+		ways:     ways,
+		planes:   planes,
+		total:    channels * ways * planes,
+	}
+}
+
+// slotAt decomposes a linear index into a slot according to the policy
+// order (first dimension varies fastest).
+func (a *allocator) slotAt(n int) slot {
+	n %= a.total
+	var coord [3]int // indexed by Dim
+	for _, d := range a.policy.Order {
+		size := a.dimSize(d)
+		coord[d] = n % size
+		n /= size
+	}
+	return slot{chip: controller.ChipID{Channel: coord[DimChannel], Way: coord[DimWay]}, plane: coord[DimPlane]}
+}
+
+func (a *allocator) dimSize(d Dim) int {
+	switch d {
+	case DimPlane:
+		return a.planes
+	case DimChannel:
+		return a.channels
+	case DimWay:
+		return a.ways
+	}
+	panic("ftl: unknown dimension")
+}
+
+// next returns the next allocatable slot accepted by ok, advancing the
+// cursor, or false when no slot qualifies.
+func (a *allocator) next(ok func(s slot) bool) (slot, bool) {
+	for i := 0; i < a.total; i++ {
+		s := a.slotAt(a.cursor)
+		a.cursor++
+		if ok(s) {
+			return s, true
+		}
+	}
+	return slot{}, false
+}
+
+// physIndex linearizes a physical page location for the reverse map.
+func physIndex(geo flash.Geometry, ways int, id controller.ChipID, addr flash.PPA) int64 {
+	chipIdx := int64(id.Channel)*int64(ways) + int64(id.Way)
+	perPlane := int64(geo.BlocksPerPlane) * int64(geo.PagesPerBlock)
+	return chipIdx*int64(geo.PagesPerChip()) +
+		int64(addr.Plane)*perPlane +
+		int64(addr.Block)*int64(geo.PagesPerBlock) +
+		int64(addr.Page)
+}
+
+// physDecode inverts physIndex.
+func physDecode(geo flash.Geometry, ways int, phys int64) (controller.ChipID, flash.PPA) {
+	perChip := int64(geo.PagesPerChip())
+	chipIdx := phys / perChip
+	rem := phys % perChip
+	perPlane := int64(geo.BlocksPerPlane) * int64(geo.PagesPerBlock)
+	plane := rem / perPlane
+	rem %= perPlane
+	block := rem / int64(geo.PagesPerBlock)
+	page := rem % int64(geo.PagesPerBlock)
+	return controller.ChipID{Channel: int(chipIdx) / ways, Way: int(chipIdx) % ways},
+		flash.PPA{Plane: int(plane), Block: int(block), Page: int(page)}
+}

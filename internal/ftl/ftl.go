@@ -1,0 +1,704 @@
+// Package ftl implements the flash translation layer: page-level logical
+// to physical mapping, the PCWD/PWCD page allocation policies, and three
+// garbage collectors — parallel GC (PaGC, the paper's baseline), a
+// semi-preemptive GC, and the paper's Spatial GC, which partitions the
+// ways into an I/O group and a GC group so collection runs concurrently
+// with host I/O on physically disjoint flash (Sec VI).
+//
+// The FTL talks to the flash exclusively through a controller.Fabric, so
+// the identical mapping and GC logic runs against every architecture and
+// all performance differences come from the interconnect.
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// GCMode selects the garbage collection engine.
+type GCMode int
+
+// GC modes.
+const (
+	GCNone       GCMode = iota // never collect (for no-GC experiments)
+	GCParallel                 // PaGC: all chips collect at once
+	GCPreemptive               // semi-preemptive: yields to host I/O between copies
+	GCSpatial                  // SpGC: I/O group vs GC group (Sec VI)
+)
+
+// String names the mode.
+func (m GCMode) String() string {
+	switch m {
+	case GCNone:
+		return "none"
+	case GCParallel:
+		return "pagc"
+	case GCPreemptive:
+		return "preemptive"
+	case GCSpatial:
+		return "spgc"
+	default:
+		return fmt.Sprintf("gcmode(%d)", int(m))
+	}
+}
+
+// VictimPolicy selects how GC picks victim blocks.
+type VictimPolicy int
+
+// Victim selection policies.
+const (
+	// VictimGreedy picks the blocks with the fewest valid pages — the
+	// paper's baseline policy.
+	VictimGreedy VictimPolicy = iota
+	// VictimCostBenefit weighs reclaimed space against copy cost and
+	// block age: maximize (1-u)/(2u) * age, the classic cleaning policy.
+	// Cold blocks are preferred at equal utilization.
+	VictimCostBenefit
+)
+
+// String names the policy.
+func (p VictimPolicy) String() string {
+	if p == VictimCostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+// Config parameterizes the FTL.
+type Config struct {
+	Policy AllocPolicy
+	GCMode GCMode
+	// Victim selects the GC victim policy (default greedy, as the paper).
+	Victim VictimPolicy
+	// GCThreshold triggers collection when the free-block fraction drops
+	// below it.
+	GCThreshold float64
+	// VictimsPerChip is the number of victim blocks selected per
+	// participating chip per GC round (the paper doubles this for SpGC so
+	// total victims match the baseline).
+	VictimsPerChip int
+	// GCGroupFraction is the fraction of ways assigned to the GC group
+	// under SpGC; the paper uses 1/2 and discusses 1/4 as an ablation.
+	GCGroupFraction float64
+}
+
+// DefaultConfig returns the paper's FTL parameters.
+func DefaultConfig() Config {
+	return Config{
+		Policy:          PCWD,
+		GCMode:          GCParallel,
+		GCThreshold:     0.25,
+		VictimsPerChip:  1,
+		GCGroupFraction: 0.5,
+	}
+}
+
+const unmapped = int64(-1)
+
+// Stats aggregates FTL activity over a run.
+type Stats struct {
+	HostReads      int64
+	HostWrites     int64
+	GCRounds       int64
+	GCPagesCopied  int64
+	GCBlocksErased int64
+	GCTotalTime    sim.Time
+	GCLastTime     sim.Time
+	WriteStalls    int64
+}
+
+// FTL is the translation layer over one fabric.
+type FTL struct {
+	eng *sim.Engine
+	fab controller.Fabric
+	cfg Config
+	geo flash.Geometry
+
+	channels, ways int
+	numLPNs        int64
+
+	l2p    []int64 // lpn -> phys, or unmapped
+	p2l    []int64 // phys -> lpn, or unmapped
+	planes []*planeState
+	alloc  *allocator
+
+	// in-flight write tracking: reads of an LPN with a write in flight
+	// wait for the write to land.
+	inflightWrites map[int64]int
+	writeWaiters   map[int64][]func()
+
+	// writes stalled on allocation space, retried as blocks free up.
+	stalled []func() bool
+
+	// reserveBlocks is the pool of free blocks host writes may not consume
+	// — headroom that guarantees GC can always allocate copy destinations.
+	reserveBlocks int
+
+	outstanding int // host ops in flight (preemptive GC probe)
+
+	gcActive  bool
+	gcGroupLo bool // SpGC: true when the low-way half is the GC group
+	stats     Stats
+}
+
+// New builds an FTL over the fabric. numLPNs is the exported logical
+// capacity in pages; it must leave over-provisioning headroom below the
+// raw capacity or GC cannot make progress.
+func New(eng *sim.Engine, fab controller.Fabric, cfg Config, numLPNs int64) *FTL {
+	grid := fab.Grid()
+	geo := grid.Chip(controller.ChipID{Channel: 0, Way: 0}).Geometry()
+	raw := int64(grid.NumChips()) * int64(geo.PagesPerChip())
+	if numLPNs <= 0 || numLPNs >= raw {
+		panic(fmt.Sprintf("ftl: logical capacity %d must be in (0, %d)", numLPNs, raw))
+	}
+	if cfg.GCMode == GCSpatial && (cfg.GCGroupFraction <= 0 || cfg.GCGroupFraction >= 1) {
+		panic("ftl: GCGroupFraction must be in (0,1)")
+	}
+	f := &FTL{
+		eng:            eng,
+		fab:            fab,
+		cfg:            cfg,
+		geo:            geo,
+		channels:       grid.Channels,
+		ways:           grid.Ways,
+		numLPNs:        numLPNs,
+		l2p:            make([]int64, numLPNs),
+		p2l:            make([]int64, raw),
+		planes:         make([]*planeState, grid.NumChips()*geo.Planes),
+		alloc:          newAllocator(cfg.Policy, grid.Channels, grid.Ways, geo.Planes),
+		inflightWrites: make(map[int64]int),
+		writeWaiters:   make(map[int64][]func()),
+		gcGroupLo:      false,                     // first SpGC round collects the high half
+		reserveBlocks:  grid.Channels * grid.Ways, // one block per chip
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for i := range f.planes {
+		f.planes[i] = newPlaneState(geo.BlocksPerPlane, geo.PagesPerBlock)
+	}
+	return f
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// NumLPNs returns the exported logical capacity in pages.
+func (f *FTL) NumLPNs() int64 { return f.numLPNs }
+
+// GCActive reports whether a collection round is in progress.
+func (f *FTL) GCActive() bool { return f.gcActive }
+
+// Outstanding returns host operations in flight.
+func (f *FTL) Outstanding() int { return f.outstanding }
+
+func (f *FTL) planeAt(id controller.ChipID, plane int) *planeState {
+	chipIdx := id.Channel*f.ways + id.Way
+	return f.planes[chipIdx*f.geo.Planes+plane]
+}
+
+func (f *FTL) checkLPN(lpn int64) {
+	if lpn < 0 || lpn >= f.numLPNs {
+		panic(fmt.Sprintf("ftl: LPN %d outside [0,%d)", lpn, f.numLPNs))
+	}
+}
+
+// FreeBlockFraction returns the fraction of all blocks currently erased.
+func (f *FTL) FreeBlockFraction() float64 {
+	total, free := 0, 0
+	for _, ps := range f.planes {
+		total += len(ps.blocks)
+		free += ps.freeBlocks()
+	}
+	return float64(free) / float64(total)
+}
+
+// TokenFor derives the content token the FTL writes for a (lpn, version)
+// pair; tests use it to verify end-to-end data integrity.
+func TokenFor(lpn int64, version int64) flash.Token {
+	x := uint64(lpn)*0x9E3779B97F4A7C15 + uint64(version)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return flash.Token(x)
+}
+
+// Map returns the physical location backing an LPN and whether it is
+// mapped.
+func (f *FTL) Map(lpn int64) (controller.ChipID, flash.PPA, bool) {
+	f.checkLPN(lpn)
+	phys := f.l2p[lpn]
+	if phys == unmapped {
+		return controller.ChipID{}, flash.PPA{}, false
+	}
+	id, addr := physDecode(f.geo, f.ways, phys)
+	return id, addr, true
+}
+
+// warmupSlot picks an allocation slot for instant warm-up writes. Like
+// host writes it must not strand the device without erased blocks: slots
+// with an open active block are preferred, and a new block is opened only
+// while the GC reserve stays intact. Without this, warm-up churn would
+// open one partial block in every plane and leave zero erased blocks —
+// a state from which GC cannot allocate a single copy destination.
+func (f *FTL) warmupSlot() (slot, bool) {
+	if s, ok := f.alloc.next(func(s slot) bool { return f.planeAt(s.chip, s.plane).active >= 0 }); ok {
+		return s, true
+	}
+	return f.alloc.next(func(s slot) bool {
+		ps := f.planeAt(s.chip, s.plane)
+		return len(ps.free) > 0 && f.totalFreeBlocks() > f.reserveBlocks
+	})
+}
+
+// Install instantly maps and programs an LPN for pre-run warmup, consuming
+// no simulated time. It uses the normal allocator so warmed-up layouts
+// match what the policy would have produced.
+func (f *FTL) Install(lpn int64, tok flash.Token) {
+	f.checkLPN(lpn)
+	if f.l2p[lpn] != unmapped {
+		panic(fmt.Sprintf("ftl: Install over mapped LPN %d", lpn))
+	}
+	s, ok := f.alloc.next(func(s slot) bool { return f.planeAt(s.chip, s.plane).hasSpace() })
+	if !ok {
+		panic("ftl: Install with no space")
+	}
+	ps := f.planeAt(s.chip, s.plane)
+	block, page := ps.allocate()
+	addr := flash.PPA{Plane: s.plane, Block: block, Page: page}
+	f.fab.Grid().Chip(s.chip).InstallPage(addr, tok)
+	phys := physIndex(f.geo, f.ways, s.chip, addr)
+	f.l2p[lpn] = phys
+	f.p2l[phys] = lpn
+	ps.blocks[block].validCount++
+}
+
+// Reinstall instantly overwrites an already-mapped LPN during warmup:
+// the old page is invalidated and a fresh one allocated and programmed,
+// consuming no simulated time. Warm-up churn with Reinstall produces the
+// realistic block fragmentation GC experiments need without simulating
+// millions of writes.
+func (f *FTL) Reinstall(lpn int64, tok flash.Token) {
+	f.checkLPN(lpn)
+	old := f.l2p[lpn]
+	if old == unmapped {
+		panic(fmt.Sprintf("ftl: Reinstall of unmapped LPN %d", lpn))
+	}
+	s, ok := f.warmupSlot()
+	if !ok {
+		panic("ftl: Reinstall with no space (respecting the GC reserve)")
+	}
+	f.invalidatePhys(old)
+	ps := f.planeAt(s.chip, s.plane)
+	block, page := ps.allocate()
+	addr := flash.PPA{Plane: s.plane, Block: block, Page: page}
+	f.fab.Grid().Chip(s.chip).InstallPage(addr, tok)
+	phys := physIndex(f.geo, f.ways, s.chip, addr)
+	f.l2p[lpn] = phys
+	f.p2l[phys] = lpn
+	ps.blocks[block].validCount++
+}
+
+// groupOps batches per-page operations on one chip into multi-plane sets
+// with distinct planes.
+type chipBatch struct {
+	id   controller.ChipID
+	ppas []flash.PPA
+	toks []flash.Token
+}
+
+func batchByChip(locs []controller.ChipID, addrs []flash.PPA, toks []flash.Token) []chipBatch {
+	var batches []chipBatch
+	open := make(map[controller.ChipID]int) // chip -> open batch index
+	for i := range locs {
+		id := locs[i]
+		bi, ok := open[id]
+		if ok {
+			b := &batches[bi]
+			conflict := false
+			for _, a := range b.ppas {
+				if a.Plane == addrs[i].Plane {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				b.ppas = append(b.ppas, addrs[i])
+				if toks != nil {
+					b.toks = append(b.toks, toks[i])
+				}
+				continue
+			}
+		}
+		nb := chipBatch{id: id, ppas: []flash.PPA{addrs[i]}}
+		if toks != nil {
+			nb.toks = []flash.Token{toks[i]}
+		}
+		batches = append(batches, nb)
+		open[id] = len(batches) - 1
+	}
+	return batches
+}
+
+// Read services host page reads for the given LPNs, invoking done when
+// every page has arrived in DRAM. Reads of LPNs with writes in flight wait
+// for those writes; reads of never-written LPNs panic — warm up first.
+func (f *FTL) Read(lpns []int64, done func()) {
+	if len(lpns) == 0 {
+		panic("ftl: empty read")
+	}
+	f.outstanding++
+	f.stats.HostReads += int64(len(lpns))
+	wrapped := func() {
+		f.outstanding--
+		done()
+	}
+	for _, lpn := range lpns {
+		f.checkLPN(lpn)
+	}
+	f.readWhenStable(append([]int64(nil), lpns...), wrapped)
+}
+
+// readWhenStable issues the read once no target LPN has a write in
+// flight. Every wake-up re-checks the whole set: while the read waited on
+// one LPN, a fresh write to another may have started, and issuing then
+// would read a page whose program has not reached the chip.
+func (f *FTL) readWhenStable(lpns []int64, done func()) {
+	for _, lpn := range lpns {
+		if f.inflightWrites[lpn] > 0 {
+			f.writeWaiters[lpn] = append(f.writeWaiters[lpn], func() {
+				f.readWhenStable(lpns, done)
+			})
+			return
+		}
+	}
+	f.issueRead(lpns, done)
+}
+
+func (f *FTL) issueRead(lpns []int64, done func()) {
+	locs := make([]controller.ChipID, len(lpns))
+	addrs := make([]flash.PPA, len(lpns))
+	for i, lpn := range lpns {
+		id, addr, ok := f.Map(lpn)
+		if !ok {
+			panic(fmt.Sprintf("ftl: read of unmapped LPN %d (warm up the footprint first)", lpn))
+		}
+		locs[i], addrs[i] = id, addr
+	}
+	batches := batchByChip(locs, addrs, nil)
+	remaining := len(batches)
+	for _, b := range batches {
+		b := b
+		// Pin the blocks under read so GC cannot erase them while the read
+		// is still queued behind channel or die contention.
+		for i, a := range b.ppas {
+			if debugReads && f.fab.Grid().Chip(b.id).PageStateAt(a) != flash.PageProgrammed {
+				bi := f.planeAt(b.id, a.Plane).blocks[a.Block]
+				phys := physIndex(f.geo, f.ways, b.id, a)
+				lpn := f.p2l[phys]
+				infl := -1
+				if lpn >= 0 {
+					infl = f.inflightWrites[lpn]
+				}
+				var readLPN, readL2P int64 = -1, -1
+				for _, cand := range lpns {
+					if f.l2p[cand] == phys {
+						readLPN, readL2P = cand, f.l2p[cand]
+					}
+				}
+				panic(fmt.Sprintf("ftl: issueRead of erased page %v on %v (batch idx %d, block state=%d valid=%d inflight=%d refs=%d, p2l=%d inflightWrites[p2l]=%d l2p[p2l]=%d readLPN=%d readL2P=%d inflightWrites[readLPN]=%d phys=%d)",
+					a, b.id, i, bi.state, bi.validCount, bi.inflight, bi.readRefs, lpn, infl, func() int64 {
+						if lpn >= 0 {
+							return f.l2p[lpn]
+						}
+						return -2
+					}(), readLPN, readL2P, f.inflightWrites[readLPN], phys))
+			}
+			f.planeAt(b.id, a.Plane).blocks[a.Block].readRefs++
+		}
+		f.fab.Read(b.id, b.ppas, func() {
+			for _, a := range b.ppas {
+				f.planeAt(b.id, a.Plane).blocks[a.Block].readRefs--
+			}
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// Write services host page writes: each LPN gets a fresh physical page
+// from the allocation policy, the old page (if any) is invalidated, and
+// done fires when every program completes. Writes trigger GC when free
+// space drops below the threshold; when no space is allocatable (GC group
+// restriction or genuine exhaustion) the write stalls until blocks free.
+func (f *FTL) Write(lpns []int64, toks []flash.Token, done func()) {
+	if len(lpns) == 0 || len(lpns) != len(toks) {
+		panic("ftl: malformed write")
+	}
+	f.outstanding++
+	f.stats.HostWrites += int64(len(lpns))
+	wrapped := func() {
+		f.outstanding--
+		done()
+	}
+	f.tryWrite(append([]int64(nil), lpns...), append([]flash.Token(nil), toks...), wrapped)
+	f.maybeTriggerGC()
+}
+
+// hostWriteAllowed reports whether host writes may target a slot right
+// now: under active SpGC, writes are restricted to the I/O group, and a
+// host write may not open a fresh block when doing so would eat into the
+// GC reserve — it stalls until collection frees space instead.
+func (f *FTL) hostWriteAllowed(s slot) bool {
+	ps := f.planeAt(s.chip, s.plane)
+	if !ps.hasSpace() {
+		return false
+	}
+	if ps.active < 0 && f.cfg.GCMode != GCNone && f.totalFreeBlocks() <= f.reserveBlocks {
+		return false
+	}
+	if f.gcActive && f.cfg.GCMode == GCSpatial && f.inGCGroup(s.chip.Way) {
+		return false
+	}
+	return true
+}
+
+func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
+	// Allocate as many pages as space allows; a shortfall commits the
+	// allocated prefix and stalls the remainder until blocks free up.
+	targets := make([]pendingTarget, 0, len(lpns))
+	for range lpns {
+		s, ok := f.alloc.next(f.hostWriteAllowed)
+		if !ok {
+			break
+		}
+		ps := f.planeAt(s.chip, s.plane)
+		block, page := ps.allocate()
+		targets = append(targets, pendingTarget{s: s, block: block, page: page})
+	}
+	if len(targets) < len(lpns) {
+		// Not enough space now: record already-allocated targets as a
+		// partial prefix and stall the remainder.
+		f.stats.WriteStalls++
+		if len(targets) > 0 {
+			f.commitWrite(lpns[:len(targets)], toks[:len(targets)], targets, nil)
+			lpns = lpns[len(targets):]
+			toks = toks[len(targets):]
+		}
+		lp, tk := lpns, toks
+		f.stalled = append(f.stalled, func() bool {
+			// retried later; returns true when issued
+			f.tryWrite(lp, tk, done)
+			return true
+		})
+		// A stalled write means allocation is out of space right now —
+		// collection must run no matter where the threshold sits.
+		if !f.gcActive && f.cfg.GCMode != GCNone {
+			f.startGC(nil)
+		}
+		return
+	}
+	f.commitWrite(lpns, toks, targets, done)
+}
+
+type pendingTarget struct {
+	s     slot
+	block int
+	page  int
+}
+
+func (f *FTL) commitWrite(lpns []int64, toks []flash.Token, targets []pendingTarget, done func()) {
+	locs := make([]controller.ChipID, len(lpns))
+	addrs := make([]flash.PPA, len(lpns))
+	for i, tgt := range targets {
+		lpn := lpns[i]
+		// Invalidate the previous version.
+		if old := f.l2p[lpn]; old != unmapped {
+			f.invalidatePhys(old)
+		}
+		addr := flash.PPA{Plane: tgt.s.plane, Block: tgt.block, Page: tgt.page}
+		phys := physIndex(f.geo, f.ways, tgt.s.chip, addr)
+		if debugReads && f.p2l[phys] != unmapped {
+			panic(fmt.Sprintf("ftl: commitWrite double-maps phys %d (old lpn %d, new lpn %d) at %v/%v", phys, f.p2l[phys], lpn, tgt.s.chip, addr))
+		}
+		f.l2p[lpn] = phys
+		f.p2l[phys] = lpn
+		ps := f.planeAt(tgt.s.chip, tgt.s.plane)
+		ps.blocks[tgt.block].validCount++
+		ps.blocks[tgt.block].inflight++
+		ps.blocks[tgt.block].lastWrite = int64(f.eng.Now())
+		f.inflightWrites[lpn]++
+		locs[i], addrs[i] = tgt.s.chip, addr
+	}
+	batches := batchByChip(locs, addrs, toks)
+	remaining := len(batches)
+	lpnsCopy := append([]int64(nil), lpns...)
+	for _, b := range batches {
+		b := b
+		ops := make([]flash.ProgramOp, len(b.ppas))
+		for i := range b.ppas {
+			ops[i] = flash.ProgramOp{Addr: b.ppas[i], Token: b.toks[i]}
+		}
+		f.fab.Write(b.id, ops, func() {
+			for _, a := range b.ppas {
+				f.planeAt(b.id, a.Plane).blocks[a.Block].inflight--
+			}
+			remaining--
+			if remaining == 0 {
+				for _, lpn := range lpnsCopy {
+					f.inflightWrites[lpn]--
+					if f.inflightWrites[lpn] == 0 {
+						delete(f.inflightWrites, lpn)
+						waiters := f.writeWaiters[lpn]
+						delete(f.writeWaiters, lpn)
+						for _, w := range waiters {
+							w()
+						}
+					}
+				}
+				if done != nil {
+					done()
+				}
+			}
+		})
+	}
+}
+
+// invalidatePhys drops the valid count for a superseded physical page.
+func (f *FTL) invalidatePhys(phys int64) {
+	id, addr := physDecode(f.geo, f.ways, phys)
+	ps := f.planeAt(id, addr.Plane)
+	ps.blocks[addr.Block].validCount--
+	if ps.blocks[addr.Block].validCount < 0 {
+		panic("ftl: negative valid count")
+	}
+	f.p2l[phys] = unmapped
+}
+
+// retryStalled reissues writes that stalled on allocation.
+func (f *FTL) retryStalled() {
+	if len(f.stalled) == 0 {
+		return
+	}
+	pending := f.stalled
+	f.stalled = nil
+	for _, retry := range pending {
+		retry()
+	}
+}
+
+// CheckConsistency validates l2p/p2l agreement and valid-count accounting;
+// tests call it after workloads and GC churn.
+func (f *FTL) CheckConsistency() error {
+	validByBlock := make(map[int64]int32)
+	for lpn, phys := range f.l2p {
+		if phys == unmapped {
+			continue
+		}
+		if f.p2l[phys] != int64(lpn) {
+			return fmt.Errorf("ftl: l2p[%d]=%d but p2l=%d", lpn, phys, f.p2l[phys])
+		}
+		id, addr := physDecode(f.geo, f.ways, phys)
+		chipIdx := int64(id.Channel*f.ways+id.Way)*int64(f.geo.Planes) + int64(addr.Plane)
+		validByBlock[chipIdx*int64(f.geo.BlocksPerPlane)+int64(addr.Block)]++
+	}
+	for pi, ps := range f.planes {
+		for b := range ps.blocks {
+			want := validByBlock[int64(pi)*int64(f.geo.BlocksPerPlane)+int64(b)]
+			if ps.blocks[b].validCount != want {
+				return fmt.Errorf("ftl: plane %d block %d validCount=%d, mapped=%d", pi, b, ps.blocks[b].validCount, want)
+			}
+		}
+	}
+	return nil
+}
+
+// debugReads enables an issue-time page-state check in issueRead.
+var debugReads = true
+
+// WearStats summarizes block erase counts across the device — the P/E
+// cycle distribution whose uniformity the SpGC group swap protects
+// (Sec VI-A: groups alternate "to uniformly increase the age of the
+// flash memory").
+type WearStats struct {
+	MinErase  int
+	MaxErase  int
+	MeanErase float64
+	// PerWay is the mean erase count per way-column, exposing any
+	// systematic imbalance between the two SpGC groups.
+	PerWay []float64
+}
+
+// Wear computes the device's current wear statistics from the chips' P/E
+// counters.
+func (f *FTL) Wear() WearStats {
+	ws := WearStats{MinErase: int(^uint(0) >> 1)}
+	perWay := make([]float64, f.ways)
+	perWayBlocks := make([]int, f.ways)
+	var total, blocks int
+	f.fab.Grid().ForEach(func(id controller.ChipID, c *flash.Chip) {
+		for plane := 0; plane < f.geo.Planes; plane++ {
+			for b := 0; b < f.geo.BlocksPerPlane; b++ {
+				e := c.EraseCount(plane, b)
+				total += e
+				blocks++
+				perWay[id.Way] += float64(e)
+				perWayBlocks[id.Way]++
+				if e < ws.MinErase {
+					ws.MinErase = e
+				}
+				if e > ws.MaxErase {
+					ws.MaxErase = e
+				}
+			}
+		}
+	})
+	if blocks > 0 {
+		ws.MeanErase = float64(total) / float64(blocks)
+	}
+	ws.PerWay = perWay
+	for w := range ws.PerWay {
+		if perWayBlocks[w] > 0 {
+			ws.PerWay[w] /= float64(perWayBlocks[w])
+		}
+	}
+	if blocks == 0 {
+		ws.MinErase = 0
+	}
+	return ws
+}
+
+// GroupWearGap returns the relative gap between the mean wear of the two
+// way-halves: |lo - hi| / max(lo, hi), zero when perfectly level.
+func (ws WearStats) GroupWearGap() float64 {
+	n := len(ws.PerWay)
+	if n < 2 {
+		return 0
+	}
+	var lo, hi float64
+	for w, v := range ws.PerWay {
+		if w < n/2 {
+			lo += v
+		} else {
+			hi += v
+		}
+	}
+	max := lo
+	if hi > max {
+		max = hi
+	}
+	if max == 0 {
+		return 0
+	}
+	diff := lo - hi
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / max
+}

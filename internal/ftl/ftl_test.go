@@ -1,0 +1,443 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+func smallGeo() flash.Geometry {
+	return flash.Geometry{Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 8, PageSize: 4096}
+}
+
+// rig builds a 2x2 base-SSD with 512 raw pages and the given FTL config.
+func rig(cfg Config, numLPNs int64) (*sim.Engine, *FTL, *controller.Grid) {
+	e := sim.NewEngine()
+	g := controller.NewGrid(e, 2, 2, smallGeo(), flash.ULLTiming())
+	soc := controller.NewSoc(e, 8000, 8000)
+	fab := controller.NewBusFabric(e, "base", g, soc, smallGeo().PageSize, 8, 1000, false)
+	return e, New(e, fab, cfg, numLPNs), g
+}
+
+func omniRig(cfg Config, numLPNs int64, channels, ways int) (*sim.Engine, *FTL, *controller.OmnibusFabric) {
+	e := sim.NewEngine()
+	g := controller.NewGrid(e, channels, ways, smallGeo(), flash.ULLTiming())
+	soc := controller.NewSoc(e, 8000, 8000)
+	fab := controller.NewOmnibusFabric(e, "pnssd", g, soc, smallGeo().PageSize, 8, 1000, false)
+	return e, New(e, fab, cfg, numLPNs), fab
+}
+
+func noGC() Config {
+	c := DefaultConfig()
+	c.GCMode = GCNone
+	return c
+}
+
+// contentOf fetches the token stored at an LPN's current mapping.
+func contentOf(t *testing.T, f *FTL, g *controller.Grid, lpn int64) flash.Token {
+	t.Helper()
+	id, addr, ok := f.Map(lpn)
+	if !ok {
+		t.Fatalf("LPN %d unmapped", lpn)
+	}
+	return g.Chip(id).ContentAt(addr)
+}
+
+func TestInstallAndRead(t *testing.T) {
+	e, f, g := rig(noGC(), 256)
+	for lpn := int64(0); lpn < 10; lpn++ {
+		f.Install(lpn, TokenFor(lpn, 0))
+	}
+	if e.Now() != 0 {
+		t.Fatal("Install consumed time")
+	}
+	for lpn := int64(0); lpn < 10; lpn++ {
+		if contentOf(t, f, g, lpn) != TokenFor(lpn, 0) {
+			t.Fatalf("LPN %d content wrong", lpn)
+		}
+	}
+	done := false
+	f.Read([]int64{0, 1, 2, 3}, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if f.Stats().HostReads != 4 {
+		t.Fatalf("HostReads = %d", f.Stats().HostReads)
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e, f, g := rig(noGC(), 256)
+	lpns := []int64{5, 6, 7, 8}
+	toks := make([]flash.Token, len(lpns))
+	for i, lpn := range lpns {
+		toks[i] = TokenFor(lpn, 1)
+	}
+	done := false
+	f.Write(lpns, toks, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	for i, lpn := range lpns {
+		if got := contentOf(t, f, g, lpn); got != toks[i] {
+			t.Fatalf("LPN %d content = %x, want %x", lpn, got, toks[i])
+		}
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteInvalidatesOld(t *testing.T) {
+	e, f, _ := rig(noGC(), 256)
+	f.Write([]int64{1}, []flash.Token{TokenFor(1, 0)}, func() {})
+	e.Run()
+	_, oldAddr, _ := f.Map(1)
+	f.Write([]int64{1}, []flash.Token{TokenFor(1, 1)}, func() {})
+	e.Run()
+	_, newAddr, _ := f.Map(1)
+	if oldAddr == newAddr {
+		t.Fatal("overwrite reused the same physical page")
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWaitsForInflightWrite(t *testing.T) {
+	e, f, g := rig(noGC(), 256)
+	f.Write([]int64{3}, []flash.Token{TokenFor(3, 0)}, func() {})
+	e.Run()
+	var readDoneAt, writeDoneAt sim.Time
+	f.Write([]int64{3}, []flash.Token{TokenFor(3, 1)}, func() { writeDoneAt = e.Now() })
+	f.Read([]int64{3}, func() { readDoneAt = e.Now() })
+	e.Run()
+	if readDoneAt <= writeDoneAt {
+		t.Fatalf("read (%v) did not wait for in-flight write (%v)", readDoneAt, writeDoneAt)
+	}
+	if contentOf(t, f, g, 3) != TokenFor(3, 1) {
+		t.Fatal("read raced the write")
+	}
+}
+
+func TestReadUnmappedPanics(t *testing.T) {
+	e, f, _ := rig(noGC(), 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped read did not panic")
+		}
+	}()
+	f.Read([]int64{99}, func() {})
+	e.Run()
+}
+
+func TestAllocationPolicyPlacement(t *testing.T) {
+	// PCWD: pages stripe plane-first then channel — consecutive 2-page
+	// writes land on alternating channels, same way.
+	cfg := noGC()
+	cfg.Policy = PCWD
+	e, f, _ := rig(cfg, 256)
+	for lpn := int64(0); lpn < 8; lpn++ {
+		f.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, 0)}, func() {})
+	}
+	e.Run()
+	var chans []int
+	for lpn := int64(0); lpn < 8; lpn++ {
+		id, _, _ := f.Map(lpn)
+		chans = append(chans, id.Channel)
+	}
+	// planes=2, channels=2: lpn0,1 plane0/1 ch0; lpn2,3 ch1; lpn4,5 ch0 w1...
+	want := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	for i := range want {
+		if chans[i] != want[i] {
+			t.Fatalf("PCWD channel seq = %v, want %v", chans, want)
+		}
+	}
+
+	// PWCD: ways before channels — first four single-page writes all stay
+	// on channel 0.
+	cfg.Policy = PWCD
+	e2, f2, _ := rig(cfg, 256)
+	for lpn := int64(0); lpn < 8; lpn++ {
+		f2.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, 0)}, func() {})
+	}
+	e2.Run()
+	for lpn := int64(0); lpn < 4; lpn++ {
+		id, _, _ := f2.Map(lpn)
+		if id.Channel != 0 {
+			t.Fatalf("PWCD: LPN %d on channel %d, want 0", lpn, id.Channel)
+		}
+	}
+}
+
+func TestMultiPlaneBatching(t *testing.T) {
+	// A 2-page PCWD write fills both planes of one chip: the chip should
+	// see exactly one (multi-plane) program.
+	e, f, g := rig(noGC(), 256)
+	f.Write([]int64{0, 1}, []flash.Token{TokenFor(0, 0), TokenFor(1, 0)}, func() {})
+	e.Run()
+	id0, _, _ := f.Map(0)
+	id1, _, _ := f.Map(1)
+	if id0 != id1 {
+		t.Fatalf("PCWD pair split across chips %v and %v", id0, id1)
+	}
+	_, programs, _ := g.Chip(id0).Counters()
+	if programs != 1 {
+		t.Fatalf("programs = %d, want 1 multi-plane op", programs)
+	}
+}
+
+func fillAndChurn(t *testing.T, e *sim.Engine, f *FTL, numLPNs int64, churn int, seed int64) map[int64]int64 {
+	t.Helper()
+	version := make(map[int64]int64)
+	for lpn := int64(0); lpn < numLPNs; lpn++ {
+		f.Install(lpn, TokenFor(lpn, 0))
+		version[lpn] = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < churn; i++ {
+		lpn := rng.Int63n(numLPNs)
+		version[lpn]++
+		f.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, version[lpn])}, func() {})
+		// Drain periodically to bound in-flight state.
+		if i%8 == 7 {
+			e.Run()
+		}
+	}
+	e.Run()
+	return version
+}
+
+func TestGCReclaimsAndPreservesData(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCParallel
+	cfg.GCThreshold = 0.3
+	// 512 raw pages; 320 LPNs leaves ~37% over-provisioning.
+	e, f, g := rig(cfg, 320)
+	version := fillAndChurn(t, e, f, 320, 400, 42)
+	if f.Stats().GCRounds == 0 {
+		t.Fatal("churn never triggered GC")
+	}
+	if f.Stats().GCBlocksErased == 0 {
+		t.Fatal("GC erased nothing")
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for lpn, v := range version {
+		if got := contentOf(t, f, g, lpn); got != TokenFor(lpn, v) {
+			t.Fatalf("LPN %d content %x, want version %d", lpn, got, v)
+		}
+	}
+}
+
+func TestGCPreemptivePreservesData(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCPreemptive
+	cfg.GCThreshold = 0.3
+	e, f, g := rig(cfg, 320)
+	version := fillAndChurn(t, e, f, 320, 400, 43)
+	if f.Stats().GCRounds == 0 {
+		t.Fatal("churn never triggered GC")
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for lpn, v := range version {
+		if got := contentOf(t, f, g, lpn); got != TokenFor(lpn, v) {
+			t.Fatalf("LPN %d stale content", lpn)
+		}
+	}
+}
+
+func TestSpatialGCSameColumnCopies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCSpatial
+	cfg.GCThreshold = 0.3
+	// 4x4 omnibus grid: raw = 16 chips * 128 pages = 2048; use 1280 LPNs.
+	e, f, fab := omniRig(cfg, 1280, 4, 4)
+	version := make(map[int64]int64)
+	for lpn := int64(0); lpn < 1280; lpn++ {
+		f.Install(lpn, TokenFor(lpn, 0))
+		version[lpn] = 0
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1200; i++ {
+		lpn := rng.Int63n(1280)
+		version[lpn]++
+		f.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, version[lpn])}, func() {})
+		if i%8 == 7 {
+			e.Run()
+		}
+	}
+	e.Run()
+	if f.Stats().GCRounds == 0 {
+		t.Fatal("no GC rounds")
+	}
+	_, _, _, direct, relayed := fab.PathCounts()
+	if direct == 0 {
+		t.Fatal("SpGC produced no direct v-channel copies")
+	}
+	if relayed > direct/4 {
+		t.Fatalf("SpGC relayed too many copies cross-column: direct=%d relayed=%d", direct, relayed)
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	g := fab.Grid()
+	for lpn, v := range version {
+		if got := contentOf(t, f, g, lpn); got != TokenFor(lpn, v) {
+			t.Fatalf("LPN %d stale after SpGC", lpn)
+		}
+	}
+}
+
+func TestSpatialGCGroupSwap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCSpatial
+	_, f, _ := omniRig(cfg, 1280, 4, 4)
+	if f.inGCGroup(0) || f.inGCGroup(1) || !f.inGCGroup(2) || !f.inGCGroup(3) {
+		t.Fatal("initial GC group should be the high ways")
+	}
+	f.gcGroupLo = true
+	if !f.inGCGroup(0) || !f.inGCGroup(1) || f.inGCGroup(2) || f.inGCGroup(3) {
+		t.Fatal("swapped GC group should be the low ways")
+	}
+}
+
+func TestSpatialGCWritesAvoidGCGroup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCSpatial
+	cfg.GCThreshold = 0.3
+	e, f, fab := omniRig(cfg, 1280, 4, 4)
+	for lpn := int64(0); lpn < 1280; lpn++ {
+		f.Install(lpn, TokenFor(lpn, 0))
+	}
+	// Trigger GC manually, then write during the round and verify placement.
+	var wrote []controller.ChipID
+	gcDone := false
+	f.TriggerGC(func() { gcDone = true })
+	for i := 0; i < 16; i++ {
+		lpn := int64(i)
+		f.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, 1)}, func() {})
+		e.RunFor(5 * sim.Microsecond)
+		if !f.GCActive() {
+			break
+		}
+		if id, _, ok := f.Map(lpn); ok {
+			wrote = append(wrote, id)
+		}
+	}
+	e.Run()
+	if !gcDone {
+		t.Fatal("GC never finished")
+	}
+	if len(wrote) == 0 {
+		t.Skip("GC finished before any write placement was observed")
+	}
+	for _, id := range wrote {
+		if id.Way >= 2 { // high ways are the first GC group on a 4-way rig
+			t.Fatalf("write landed in GC group at %v", id)
+		}
+	}
+	_ = fab
+}
+
+func TestWriteStallsWhenFullThenRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCParallel
+	cfg.GCThreshold = 0.05 // effectively only stall-driven GC
+	e, f, _ := rig(cfg, 320)
+	version := fillAndChurn(t, e, f, 320, 600, 99)
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	_ = version
+	if f.Stats().GCRounds == 0 {
+		t.Fatal("no GC despite churn beyond capacity")
+	}
+}
+
+func TestTriggerGCPanicsWhenActive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCMode = GCParallel
+	e, f, _ := rig(cfg, 320)
+	for lpn := int64(0); lpn < 320; lpn++ {
+		f.Install(lpn, TokenFor(lpn, 0))
+	}
+	f.TriggerGC(nil)
+	if !f.GCActive() {
+		t.Fatal("GC not active after trigger")
+	}
+	defer func() {
+		recover()
+		e.Run()
+	}()
+	f.TriggerGC(nil)
+	t.Fatal("double trigger did not panic")
+}
+
+func TestGCModeStrings(t *testing.T) {
+	if GCNone.String() != "none" || GCParallel.String() != "pagc" ||
+		GCPreemptive.String() != "preemptive" || GCSpatial.String() != "spgc" {
+		t.Fatal("GC mode strings wrong")
+	}
+}
+
+func TestTokenForDistinct(t *testing.T) {
+	seen := make(map[flash.Token]bool)
+	for lpn := int64(0); lpn < 100; lpn++ {
+		for v := int64(0); v < 5; v++ {
+			tok := TokenFor(lpn, v)
+			if seen[tok] {
+				t.Fatalf("token collision at lpn=%d v=%d", lpn, v)
+			}
+			seen[tok] = true
+		}
+	}
+}
+
+// Property-style stress: random single-page reads and writes with GC churn
+// keep the mapping consistent and every read returns current data.
+func TestRandomWorkloadConsistency(t *testing.T) {
+	for _, mode := range []GCMode{GCParallel, GCPreemptive} {
+		cfg := DefaultConfig()
+		cfg.GCMode = mode
+		cfg.GCThreshold = 0.35
+		e, f, g := rig(cfg, 320)
+		version := make(map[int64]int64)
+		for lpn := int64(0); lpn < 320; lpn++ {
+			f.Install(lpn, TokenFor(lpn, 0))
+		}
+		rng := rand.New(rand.NewSource(7 + int64(mode)))
+		for i := 0; i < 500; i++ {
+			lpn := rng.Int63n(320)
+			if rng.Intn(2) == 0 {
+				f.Read([]int64{lpn}, func() {})
+			} else {
+				version[lpn]++
+				f.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, version[lpn])}, func() {})
+			}
+			if i%16 == 15 {
+				e.Run()
+				if err := f.CheckConsistency(); err != nil {
+					t.Fatalf("mode %v iter %d: %v", mode, i, err)
+				}
+			}
+		}
+		e.Run()
+		for lpn, v := range version {
+			if got := contentOf(t, f, g, lpn); got != TokenFor(lpn, v) {
+				t.Fatalf("mode %v: LPN %d stale", mode, lpn)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+func TestVictimPolicyStrings(t *testing.T) {
+	if VictimGreedy.String() != "greedy" || VictimCostBenefit.String() != "cost-benefit" {
+		t.Fatal("victim policy strings wrong")
+	}
+}
+
+// runVictimPolicy churns a device under the given victim policy and
+// returns (pages copied, blocks erased): the write-amplification signal.
+func runVictimPolicy(t *testing.T, policy VictimPolicy) (int64, int64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.GCMode = GCParallel
+	cfg.GCThreshold = 0.3
+	cfg.Victim = policy
+	e, f, g := rig(cfg, 320)
+	version := make(map[int64]int64)
+	for lpn := int64(0); lpn < 320; lpn++ {
+		f.Install(lpn, TokenFor(lpn, 0))
+	}
+	// Skewed churn: a small hot set rewrites constantly, the rest is cold
+	// — the regime where cost-benefit outperforms greedy.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 700; i++ {
+		var lpn int64
+		if rng.Float64() < 0.9 {
+			lpn = rng.Int63n(32) // hot
+		} else {
+			lpn = 32 + rng.Int63n(288) // cold
+		}
+		version[lpn]++
+		f.Write([]int64{lpn}, []flash.Token{TokenFor(lpn, version[lpn])}, func() {})
+		if i%8 == 7 {
+			e.Run()
+		}
+	}
+	e.Run()
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for lpn, v := range version {
+		if got := contentOf(t, f, g, lpn); got != TokenFor(lpn, v) {
+			t.Fatalf("policy %v: LPN %d stale", policy, lpn)
+		}
+	}
+	st := f.Stats()
+	return st.GCPagesCopied, st.GCBlocksErased
+}
+
+func TestCostBenefitVictimCorrectAndReclaims(t *testing.T) {
+	copied, erased := runVictimPolicy(t, VictimCostBenefit)
+	if erased == 0 {
+		t.Fatal("cost-benefit GC never erased")
+	}
+	if copied < 0 {
+		t.Fatal("negative copies")
+	}
+}
+
+func TestGreedyVictimCorrectAndReclaims(t *testing.T) {
+	copied, erased := runVictimPolicy(t, VictimGreedy)
+	if erased == 0 {
+		t.Fatal("greedy GC never erased")
+	}
+	_ = copied
+}
+
+func TestVictimPoliciesBothMakeProgress(t *testing.T) {
+	gCopied, gErased := runVictimPolicy(t, VictimGreedy)
+	cbCopied, cbErased := runVictimPolicy(t, VictimCostBenefit)
+	t.Logf("greedy: %d copied / %d erased; cost-benefit: %d copied / %d erased",
+		gCopied, gErased, cbCopied, cbErased)
+	// Both policies must reclaim; per-erase copy cost (write amplification
+	// per reclaimed block) should be in a sane band for both.
+	for _, pair := range []struct {
+		name           string
+		copied, erased int64
+	}{{"greedy", gCopied, gErased}, {"cost-benefit", cbCopied, cbErased}} {
+		perBlock := float64(pair.copied) / float64(pair.erased)
+		if perBlock > 8 { // pagesPerBlock is 8 in the small rig
+			t.Fatalf("%s: %f copies per erased block exceeds block size", pair.name, perBlock)
+		}
+	}
+}

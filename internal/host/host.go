@@ -1,0 +1,176 @@
+// Package host models the NVMe front end of the SSD and drives workloads
+// against the FTL. It supports open-loop trace replay (requests arrive at
+// trace timestamps) and closed-loop generators (a fixed number of
+// outstanding I/Os, the x-axis of the paper's Figs 16-17), and records
+// per-request latency into stats.IOMetrics.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Request is one host I/O at page granularity: Pages consecutive LPNs
+// starting at LPN.
+type Request struct {
+	Arrival sim.Time
+	Kind    stats.IOKind
+	LPN     int64
+	Pages   int
+}
+
+// DefaultCmdLatency is the fixed NVMe command processing overhead
+// (submission queue doorbell, fetch, completion) per request.
+const DefaultCmdLatency = 1 * sim.Microsecond
+
+// Host is the front end bound to one FTL.
+type Host struct {
+	eng        *sim.Engine
+	f          *ftl.FTL
+	pageSize   int
+	nvme       *sim.Resource
+	nvmePsByte sim.Time
+	cmdLatency sim.Time
+
+	metrics  *stats.IOMetrics
+	versions map[int64]int64
+	inFlight int
+}
+
+// New builds a host. nvmeMBps is the host link bandwidth (Table II: PCIe
+// 4.0 x4, provisioned at the total flash bus bandwidth).
+func New(eng *sim.Engine, f *ftl.FTL, pageSize, nvmeMBps int) *Host {
+	if nvmeMBps <= 0 {
+		panic("host: non-positive NVMe bandwidth")
+	}
+	return &Host{
+		eng:        eng,
+		f:          f,
+		pageSize:   pageSize,
+		nvme:       sim.NewResource(eng, "nvme"),
+		nvmePsByte: sim.Time(1_000_000 / nvmeMBps),
+		cmdLatency: DefaultCmdLatency,
+		metrics:    stats.NewIOMetrics(),
+		versions:   make(map[int64]int64),
+	}
+}
+
+// Metrics returns the recorder.
+func (h *Host) Metrics() *stats.IOMetrics { return h.metrics }
+
+// FTL returns the bound translation layer.
+func (h *Host) FTL() *ftl.FTL { return h.f }
+
+// InFlight returns requests submitted but not completed.
+func (h *Host) InFlight() int { return h.inFlight }
+
+// Warmup installs the whole footprint [0, lpns) instantly so reads always
+// hit mapped pages and the device starts at realistic occupancy.
+func (h *Host) Warmup(lpns int64) {
+	for lpn := int64(0); lpn < lpns; lpn++ {
+		h.f.Install(lpn, ftl.TokenFor(lpn, 0))
+	}
+}
+
+func (h *Host) lpnsOf(r Request) []int64 {
+	if r.Pages <= 0 {
+		panic(fmt.Sprintf("host: request with %d pages", r.Pages))
+	}
+	lpns := make([]int64, r.Pages)
+	for i := range lpns {
+		lpn := r.LPN + int64(i)
+		if lpn >= h.f.NumLPNs() {
+			lpn %= h.f.NumLPNs()
+		}
+		lpns[i] = lpn
+	}
+	return lpns
+}
+
+// Submit issues one request now (the request's Arrival field is used only
+// for latency accounting and must not be in the future). done may be nil.
+func (h *Host) Submit(r Request, done func()) {
+	if r.Arrival > h.eng.Now() {
+		panic("host: submit before arrival time")
+	}
+	h.inFlight++
+	lpns := h.lpnsOf(r)
+	bytes := int64(r.Pages) * int64(h.pageSize)
+	finish := func() {
+		h.inFlight--
+		h.metrics.Record(r.Kind, r.Arrival, h.eng.Now(), bytes)
+		if done != nil {
+			done()
+		}
+	}
+	xfer := sim.Time(bytes) * h.nvmePsByte
+	switch r.Kind {
+	case stats.Read:
+		h.eng.Schedule(h.cmdLatency, func() {
+			h.f.Read(lpns, func() {
+				h.nvme.Use(xfer, finish)
+			})
+		})
+	case stats.Write:
+		toks := make([]flash.Token, len(lpns))
+		for i, lpn := range lpns {
+			h.versions[lpn]++
+			toks[i] = ftl.TokenFor(lpn, h.versions[lpn])
+		}
+		h.eng.Schedule(h.cmdLatency, func() {
+			h.nvme.Use(xfer, func() {
+				h.f.Write(lpns, toks, finish)
+			})
+		})
+	default:
+		panic("host: unknown request kind")
+	}
+}
+
+// Replay schedules every request of an open-loop trace at its arrival
+// time; run the engine afterwards and read Metrics. It returns a counter
+// that reports completions.
+func (h *Host) Replay(reqs []Request) *int {
+	completed := new(int)
+	for _, r := range reqs {
+		r := r
+		if r.Arrival < h.eng.Now() {
+			panic("host: trace arrival in the past")
+		}
+		h.eng.At(r.Arrival, func() {
+			r.Arrival = h.eng.Now()
+			h.Submit(r, func() { *completed++ })
+		})
+	}
+	return completed
+}
+
+// RunClosedLoop keeps `outstanding` requests in flight until total
+// requests have been issued, pulling each next request from gen. It
+// schedules the first wave now; run the engine to completion afterwards.
+func (h *Host) RunClosedLoop(gen func(i int) Request, outstanding, total int) {
+	if outstanding <= 0 || total <= 0 {
+		panic("host: invalid closed-loop parameters")
+	}
+	if outstanding > total {
+		outstanding = total
+	}
+	issued := 0
+	var issue func()
+	issue = func() {
+		if issued >= total {
+			return
+		}
+		r := gen(issued)
+		issued++
+		r.Arrival = h.eng.Now()
+		h.Submit(r, issue)
+	}
+	for i := 0; i < outstanding; i++ {
+		h.eng.Schedule(0, issue)
+	}
+}

@@ -1,0 +1,152 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func testHost(t *testing.T) (*sim.Engine, *Host) {
+	t.Helper()
+	e := sim.NewEngine()
+	geo := flash.Geometry{Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 8, PageSize: 4096}
+	g := controller.NewGrid(e, 2, 2, geo, flash.ULLTiming())
+	soc := controller.NewSoc(e, 8000, 8000)
+	fab := controller.NewBusFabric(e, "base", g, soc, geo.PageSize, 8, 1000, false)
+	cfg := ftl.DefaultConfig()
+	cfg.GCMode = ftl.GCNone
+	f := ftl.New(e, fab, cfg, 256)
+	return e, New(e, f, geo.PageSize, 8000)
+}
+
+func TestSubmitReadRecordsLatency(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(64)
+	done := false
+	h.Submit(Request{Kind: stats.Read, LPN: 3, Pages: 2}, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("read never completed")
+	}
+	m := h.Metrics()
+	if m.Requests[stats.Read] != 1 {
+		t.Fatalf("read count = %d", m.Requests[stats.Read])
+	}
+	lat := m.Latency[stats.Read].Mean()
+	// Must include at least cmd latency + tR + channel transfer.
+	if lat < 5*sim.Microsecond || lat > 100*sim.Microsecond {
+		t.Fatalf("read latency = %v, outside sane range", lat)
+	}
+	if m.Bytes[stats.Read] != 8192 {
+		t.Fatalf("read bytes = %d", m.Bytes[stats.Read])
+	}
+}
+
+func TestSubmitWriteUpdatesVersion(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(64)
+	h.Submit(Request{Kind: stats.Write, LPN: 5, Pages: 1}, nil)
+	e.Run()
+	id, addr, ok := h.FTL().Map(5)
+	if !ok {
+		t.Fatal("LPN 5 unmapped after write")
+	}
+	// Version 1 token must be stored (warmup wrote version 0).
+	_ = id
+	_ = addr
+	h.Submit(Request{Kind: stats.Write, LPN: 5, Pages: 1}, nil)
+	e.Run()
+	if h.Metrics().Requests[stats.Write] != 2 {
+		t.Fatal("write count wrong")
+	}
+}
+
+func TestRequestWrapsFootprint(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(256)
+	done := false
+	// Request starting at the last LPN wraps to 0.
+	h.Submit(Request{Kind: stats.Read, LPN: 255, Pages: 2}, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("wrapping read never completed")
+	}
+}
+
+func TestReplayOpenLoop(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(64)
+	reqs := []Request{
+		{Arrival: 10 * sim.Microsecond, Kind: stats.Read, LPN: 0, Pages: 1},
+		{Arrival: 20 * sim.Microsecond, Kind: stats.Write, LPN: 1, Pages: 1},
+		{Arrival: 30 * sim.Microsecond, Kind: stats.Read, LPN: 2, Pages: 1},
+	}
+	completed := h.Replay(reqs)
+	e.Run()
+	if *completed != 3 {
+		t.Fatalf("completed = %d", *completed)
+	}
+	if h.Metrics().TotalRequests() != 3 {
+		t.Fatal("metrics missing requests")
+	}
+	// Latency is measured from arrival, not submission.
+	if h.Metrics().FirstArrival != 10*sim.Microsecond {
+		t.Fatalf("first arrival = %v", h.Metrics().FirstArrival)
+	}
+}
+
+func TestRunClosedLoopMaintainsOutstanding(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(64)
+	maxSeen := 0
+	gen := func(i int) Request {
+		if h.InFlight() > maxSeen {
+			maxSeen = h.InFlight()
+		}
+		return Request{Kind: stats.Read, LPN: int64(i % 64), Pages: 1}
+	}
+	h.RunClosedLoop(gen, 4, 40)
+	e.Run()
+	if h.Metrics().TotalRequests() != 40 {
+		t.Fatalf("completed %d of 40", h.Metrics().TotalRequests())
+	}
+	if maxSeen > 4 {
+		t.Fatalf("outstanding exceeded limit: %d", maxSeen)
+	}
+	if h.InFlight() != 0 {
+		t.Fatal("requests leaked")
+	}
+}
+
+func TestClosedLoopMoreOutstandingMoreThroughput(t *testing.T) {
+	run := func(outstanding int) float64 {
+		e, h := testHost(t)
+		h.Warmup(256)
+		h.RunClosedLoop(func(i int) Request {
+			return Request{Kind: stats.Read, LPN: int64((i * 7) % 250), Pages: 1}
+		}, outstanding, 100)
+		e.Run()
+		return h.Metrics().KIOPS()
+	}
+	k1 := run(1)
+	k8 := run(8)
+	if k8 <= k1 {
+		t.Fatalf("no throughput gain from parallelism: 1->%.1f 8->%.1f KIOPS", k1, k8)
+	}
+}
+
+func TestSubmitInvalidPanics(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-page request did not panic")
+		}
+	}()
+	h.Submit(Request{Kind: stats.Read, LPN: 0, Pages: 0}, nil)
+	e.Run()
+}

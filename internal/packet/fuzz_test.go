@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Decoders must never panic on arbitrary bytes — they are the boundary
+// between the wire and the on-die controller.
+
+func TestDecodeControlNeverPanics(t *testing.T) {
+	prop := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		DecodeControl(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDataNeverPanics(t *testing.T) {
+	prop := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		DecodeData(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEitherOnRandomBytes(t *testing.T) {
+	// Random buffers either decode cleanly or error — and a clean decode
+	// must re-encode to a prefix-compatible buffer.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(32)
+		b := make([]byte, n)
+		rng.Read(b)
+		ty, err := PeekType(b)
+		if err != nil {
+			continue
+		}
+		switch ty {
+		case TypeControl:
+			c, used, err := DecodeControl(b)
+			if err != nil {
+				continue
+			}
+			enc, err := c.Encode()
+			if err != nil {
+				t.Fatalf("decoded control failed to re-encode: %v", err)
+			}
+			if len(enc) != used {
+				t.Fatalf("re-encode length %d != consumed %d", len(enc), used)
+			}
+		case TypeData:
+			d, used, err := DecodeData(b)
+			if err != nil {
+				continue
+			}
+			enc, err := d.Encode()
+			if err != nil {
+				t.Fatalf("decoded data failed to re-encode: %v", err)
+			}
+			if len(enc) != used {
+				t.Fatalf("re-encode length %d != consumed %d", len(enc), used)
+			}
+		}
+	}
+}
+
+func TestControlCommandBounds(t *testing.T) {
+	// Encode rejects command counts the 2-bit T field cannot carry.
+	for _, n := range []int{0, 4, 5} {
+		c := Control{Commands: make([]uint8, n)}
+		if _, err := c.Encode(); err == nil {
+			t.Fatalf("control with %d commands encoded", n)
+		}
+	}
+}

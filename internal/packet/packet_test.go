@@ -1,0 +1,197 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	cases := []Control{
+		ReadControl(Address{Column: 0x1234, Row: 0xABCDEF}),
+		ProgramControl(Address{Column: 0, Row: 1}),
+		EraseControl(Address{Row: 0x00FFEE}),
+		ReadXferControl(Address{Column: 512, Row: 42}),
+		VXferOutControl(Address{Column: 1, Row: 2}),
+		VXferInControl(Address{Column: 3, Row: 4}),
+		VCommitControl(Address{Column: 5, Row: 6}),
+	}
+	for _, c := range cases {
+		enc, err := c.Encode()
+		if err != nil {
+			t.Fatalf("encode %+v: %v", c, err)
+		}
+		if len(enc) != c.Flits() {
+			t.Fatalf("wire len %d != Flits() %d", len(enc), c.Flits())
+		}
+		dec, n, err := DecodeControl(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if !bytes.Equal(dec.Commands, c.Commands) || dec.HasCol != c.HasCol || dec.HasRow != c.HasRow {
+			t.Fatalf("decoded %+v != original %+v", dec, c)
+		}
+		if c.HasCol && dec.Addr.Column != c.Addr.Column {
+			t.Fatalf("column %x != %x", dec.Addr.Column, c.Addr.Column)
+		}
+		if c.HasRow && dec.Addr.Row != c.Addr.Row {
+			t.Fatalf("row %x != %x", dec.Addr.Row, c.Addr.Row)
+		}
+	}
+}
+
+func TestReadControlWireSize(t *testing.T) {
+	// Header + 2 commands + 2 column + 3 row = 8 flits, per Fig 8.
+	if got := ReadControl(Address{}).Flits(); got != 8 {
+		t.Fatalf("read control flits = %d, want 8", got)
+	}
+	if got := ControlFlitsFor(); got != 8 {
+		t.Fatalf("ControlFlitsFor = %d, want 8", got)
+	}
+	// Erase: header + 2 commands + 3 row = 6 flits.
+	if got := EraseControl(Address{}).Flits(); got != 6 {
+		t.Fatalf("erase control flits = %d, want 6", got)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	payload := make([]byte, 16384)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	d := Data{ToVPage: true, Split: true, Payload: payload}
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 16384+3 {
+		t.Fatalf("wire len = %d, want 16387", len(enc))
+	}
+	dec, n, err := DecodeData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) || !dec.ToVPage || !dec.Split || !bytes.Equal(dec.Payload, payload) {
+		t.Fatalf("bad decode: n=%d flags=%v/%v", n, dec.ToVPage, dec.Split)
+	}
+}
+
+func TestDataTooLarge(t *testing.T) {
+	d := Data{Payload: make([]byte, MaxDataPayload+1)}
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("oversized payload encoded without error")
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	c, _ := ReadControl(Address{}).Encode()
+	d, _ := (Data{Payload: []byte{1}}).Encode()
+	if ty, err := PeekType(c); err != nil || ty != TypeControl {
+		t.Fatalf("PeekType(control) = %v, %v", ty, err)
+	}
+	if ty, err := PeekType(d); err != nil || ty != TypeData {
+		t.Fatalf("PeekType(data) = %v, %v", ty, err)
+	}
+	if _, err := PeekType(nil); err != ErrTruncated {
+		t.Fatalf("PeekType(nil) err = %v", err)
+	}
+	if _, err := PeekType([]byte{0xFF}); err != ErrBadType {
+		t.Fatalf("PeekType(bad) err = %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc, _ := ReadControl(Address{Column: 9, Row: 9}).Encode()
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := DecodeControl(enc[:cut]); err == nil {
+			t.Fatalf("control truncated at %d decoded without error", cut)
+		}
+	}
+	dEnc, _ := (Data{Payload: make([]byte, 64)}).Encode()
+	for _, cut := range []int{0, 1, 2, 10, len(dEnc) - 1} {
+		if _, _, err := DecodeData(dEnc[:cut]); err == nil {
+			t.Fatalf("data truncated at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	c, _ := ReadControl(Address{}).Encode()
+	if _, _, err := DecodeData(c); err != ErrBadType {
+		t.Fatalf("DecodeData(control) err = %v, want ErrBadType", err)
+	}
+	d, _ := (Data{Payload: []byte{1, 2, 3}}).Encode()
+	if _, _, err := DecodeControl(d); err != ErrBadType {
+		t.Fatalf("DecodeControl(data) err = %v, want ErrBadType", err)
+	}
+}
+
+func TestHeaderOverhead(t *testing.T) {
+	if HeaderOverhead(TypeControl) != 0.25 {
+		t.Fatalf("control header overhead = %v, want 0.25", HeaderOverhead(TypeControl))
+	}
+	if HeaderOverhead(TypeData) != 0.5 {
+		t.Fatalf("data header overhead = %v, want 0.5", HeaderOverhead(TypeData))
+	}
+}
+
+func TestTransferOverheadSmallForPages(t *testing.T) {
+	// For a 16 KB page the total packetization overhead must be well under
+	// 0.1% — the paper's argument that packet overhead is negligible.
+	if ov := TransferOverhead(16384); ov <= 0 || ov > 0.001 {
+		t.Fatalf("16KB transfer overhead = %v, want (0, 0.001]", ov)
+	}
+	// And it must shrink as pages grow.
+	if TransferOverhead(65535) >= TransferOverhead(16384) {
+		t.Fatal("overhead not decreasing with payload size")
+	}
+	if TransferOverhead(0) != 0 {
+		t.Fatal("zero payload overhead should be 0")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeControl.String() != "control" || TypeData.String() != "data" {
+		t.Fatal("type strings wrong")
+	}
+	if Type(3).String() != "type(3)" {
+		t.Fatalf("unknown type string = %q", Type(3).String())
+	}
+}
+
+// Property: any address round-trips through a read control packet.
+func TestControlAddressRoundTripProperty(t *testing.T) {
+	prop := func(col uint16, rowRaw uint32) bool {
+		row := rowRaw & 0xFFFFFF // 24-bit row on the wire
+		c := ReadControl(Address{Column: col, Row: row})
+		enc, err := c.Encode()
+		if err != nil {
+			return false
+		}
+		dec, _, err := DecodeControl(enc)
+		return err == nil && dec.Addr.Column == col && dec.Addr.Row == row
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data payloads of any size up to a few KB round-trip with flags.
+func TestDataRoundTripProperty(t *testing.T) {
+	prop := func(payload []byte, v, s bool) bool {
+		d := Data{ToVPage: v, Split: s, Payload: payload}
+		enc, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		dec, n, err := DecodeData(enc)
+		return err == nil && n == len(enc) && dec.ToVPage == v && dec.Split == s &&
+			bytes.Equal(dec.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	// All data lines should have the value column starting at the same
+	// offset.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range []string{lines[3], lines[4]} {
+		if len(l) < idx {
+			t.Fatalf("row %q shorter than header alignment", l)
+		}
+	}
+	if !strings.Contains(lines[4], "longer-name  22") {
+		t.Fatalf("row misaligned: %q", lines[4])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Add("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("", "name", "note")
+	tb.Add("x", `has "quotes", and comma`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has ""quotes"", and comma"`) {
+		t.Fatalf("CSV quoting wrong: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "name,note\n") {
+		t.Fatalf("CSV header wrong: %s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F2(1.234) != "1.23" || F1(1.25) != "1.2" {
+		t.Fatal("float formatters wrong")
+	}
+	if X(2.5) != "2.50x" {
+		t.Fatalf("X = %q", X(2.5))
+	}
+	if Pct(0.823) != "+82.3%" || Pct(-0.1) != "-10.0%" {
+		t.Fatalf("Pct wrong: %q %q", Pct(0.823), Pct(-0.1))
+	}
+}
+
+func TestHeat(t *testing.T) {
+	h := Heat([]float64{0, 0.5, 1.0, -1, 2})
+	if len([]rune(h)) != 5 {
+		t.Fatalf("heat length = %d", len(h))
+	}
+	runes := []rune(h)
+	if runes[0] != ' ' || runes[2] != '@' || runes[3] != ' ' || runes[4] != '@' {
+		t.Fatalf("heat = %q", h)
+	}
+}

@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer picoseconds so that the fastest modelled
+// resources (a 16-bit flash channel moving two bytes per nanosecond, or a
+// 2-bit mesh link moving one byte every four nanoseconds) divide evenly.
+// Events scheduled for the same instant fire in scheduling order, which
+// makes every simulation in this repository reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns the time as a floating-point nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns the time as a floating-point microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns the time as a floating-point millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the time as a floating-point second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "3.2us".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all model code runs inside event callbacks.
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	fired  int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() int64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d. A negative delay panics: the model has a
+// causality bug and silently clamping it would hide the error.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at t=%v", d, e.now))
+	}
+	e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute time t, which must not precede the current time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule into the past: t=%v now=%v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is left at the deadline or at
+// the last event time, whichever is later was reached first. It returns the
+// number of events fired.
+func (e *Engine) RunUntil(deadline Time) int64 {
+	var n int64
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// RunFor advances the clock by d, executing everything due in the window.
+func (e *Engine) RunFor(d Time) int64 { return e.RunUntil(e.now + d) }
+
+// Step executes exactly one event if any is pending, reporting whether one
+// fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	e.step()
+	return true
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	if ev.at < e.now {
+		panic("sim: event heap corrupted")
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Fatalf("Nanosecond = %d, want 1000", Nanosecond)
+	}
+	if Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond || Second != 1000*Millisecond {
+		t.Fatal("unit ladder broken")
+	}
+	if got := (3 * Microsecond).Microseconds(); got != 3.0 {
+		t.Fatalf("Microseconds = %v, want 3", got)
+	}
+	if got := (1500 * Nanosecond).Microseconds(); got != 1.5 {
+		t.Fatalf("Microseconds = %v, want 1.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.50ns"},
+		{3 * Microsecond, "3.00us"},
+		{50 * Microsecond, "50.00us"},
+		{Millisecond, "1.00ms"},
+		{2 * Second, "2.000s"},
+		{-3 * Microsecond, "-3.00us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time = %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: order[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+		e.Schedule(0, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	n := e.RunUntil(25)
+	if n != 2 {
+		t.Fatalf("fired %d events, want 2", n)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("now = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 40 || len(fired) != 4 {
+		t.Fatalf("after Run: now=%v fired=%v", e.Now(), fired)
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Schedule(30, func() { count++ })
+	e.RunFor(20)
+	if count != 1 || e.Now() != 20 {
+		t.Fatalf("count=%d now=%v, want 1, 20", count, e.Now())
+	}
+	e.RunFor(20)
+	if count != 2 || e.Now() != 40 {
+		t.Fatalf("count=%d now=%v, want 2, 40", count, e.Now())
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++ })
+	e.Schedule(2, func() { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatal("first step did not fire one event")
+	}
+	if !e.Step() || count != 2 {
+		t.Fatal("second step did not fire one event")
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue reported an event")
+	}
+	if e.EventsFired() != 2 {
+		t.Fatalf("EventsFired = %d, want 2", e.EventsFired())
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEnginePastSchedulePanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("past schedule did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	NewEngine().Schedule(1, nil)
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var max Time
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(delays) > 0 && e.Now() != max {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

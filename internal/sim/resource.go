@@ -1,0 +1,194 @@
+package sim
+
+// Resource is a unit-capacity server with FIFO admission. It models any
+// hardware element that serves one occupant at a time: a bus channel, a
+// flash die, a DRAM port. Holders acquire the resource, are called back when
+// granted, and must release it when done.
+//
+// Grant callbacks run as fresh events (never re-entrantly inside Acquire or
+// Release), so model code can treat them as happening "next".
+type Resource struct {
+	eng     *Engine
+	name    string
+	busy    bool
+	waiters []grantReq
+
+	// accounting
+	busySince   Time
+	totalBusy   Time
+	totalGrants int64
+	totalWait   Time
+	maxWait     Time
+	util        *UtilRecorder
+}
+
+type grantReq struct {
+	fn func()
+	at Time
+}
+
+// NewResource creates an idle resource attached to the engine. The name is
+// used only for diagnostics.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name supplied at construction.
+func (r *Resource) Name() string { return r.name }
+
+// SetUtilRecorder attaches a windowed utilization recorder; every busy
+// interval is reported to it. A nil recorder detaches.
+func (r *Resource) SetUtilRecorder(u *UtilRecorder) { r.util = u }
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiters not yet granted.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire requests the resource. When granted, fn runs as its own event; the
+// holder must eventually call Release.
+func (r *Resource) Acquire(fn func()) {
+	if fn == nil {
+		panic("sim: nil acquire callback for " + r.name)
+	}
+	if !r.busy {
+		r.grant(fn)
+		return
+	}
+	r.waiters = append(r.waiters, grantReq{fn: fn, at: r.eng.Now()})
+}
+
+// TryAcquire acquires the resource only if it is idle and has no waiters,
+// reporting success. On success fn is scheduled exactly as with Acquire.
+func (r *Resource) TryAcquire(fn func()) bool {
+	if r.busy || len(r.waiters) > 0 {
+		return false
+	}
+	r.grant(fn)
+	return true
+}
+
+func (r *Resource) grant(fn func()) {
+	r.busy = true
+	r.busySince = r.eng.Now()
+	r.totalGrants++
+	r.eng.Schedule(0, fn)
+}
+
+// Release frees the resource and grants it to the next FIFO waiter, if any.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("sim: release of idle resource " + r.name)
+	}
+	held := r.eng.Now() - r.busySince
+	r.totalBusy += held
+	if r.util != nil {
+		r.util.AddBusy(r.busySince, r.eng.Now())
+	}
+	r.busy = false
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		wait := r.eng.Now() - next.at
+		r.totalWait += wait
+		if wait > r.maxWait {
+			r.maxWait = wait
+		}
+		r.grant(next.fn)
+	}
+}
+
+// Use acquires the resource, holds it for d, then releases it and runs done
+// (which may be nil). It is the common "occupy a bus for a serialization
+// time" helper.
+func (r *Resource) Use(d Time, done func()) {
+	if d < 0 {
+		panic("sim: negative hold duration for " + r.name)
+	}
+	r.Acquire(func() {
+		r.eng.Schedule(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// TotalBusy returns cumulative held time over completed holds.
+func (r *Resource) TotalBusy() Time { return r.totalBusy }
+
+// TotalGrants returns the number of grants issued.
+func (r *Resource) TotalGrants() int64 { return r.totalGrants }
+
+// TotalWait returns the cumulative time grantees spent queued before
+// receiving the resource; immediate grants contribute zero.
+func (r *Resource) TotalWait() Time { return r.totalWait }
+
+// MaxWait returns the longest single queueing delay observed.
+func (r *Resource) MaxWait() Time { return r.maxWait }
+
+// MeanWait returns the average queueing delay over all grants.
+func (r *Resource) MeanWait() Time {
+	if r.totalGrants == 0 {
+		return 0
+	}
+	return r.totalWait / Time(r.totalGrants)
+}
+
+// Utilization returns TotalBusy divided by the elapsed time since zero.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.totalBusy) / float64(r.eng.Now())
+}
+
+// UtilRecorder accumulates busy time into fixed-width windows, producing the
+// per-channel utilization time series behind the paper's Fig 3 heatmap.
+type UtilRecorder struct {
+	window  Time
+	busyPer []Time
+}
+
+// NewUtilRecorder creates a recorder with the given window width.
+func NewUtilRecorder(window Time) *UtilRecorder {
+	if window <= 0 {
+		panic("sim: non-positive utilization window")
+	}
+	return &UtilRecorder{window: window}
+}
+
+// Window returns the configured window width.
+func (u *UtilRecorder) Window() Time { return u.window }
+
+// AddBusy credits the interval [from, to) across the windows it overlaps.
+func (u *UtilRecorder) AddBusy(from, to Time) {
+	if to < from {
+		panic("sim: inverted busy interval")
+	}
+	for from < to {
+		w := int(from / u.window)
+		for w >= len(u.busyPer) {
+			u.busyPer = append(u.busyPer, 0)
+		}
+		end := Time(w+1) * u.window
+		if end > to {
+			end = to
+		}
+		u.busyPer[w] += end - from
+		from = end
+	}
+}
+
+// Series returns per-window utilization in [0,1], one entry per window from
+// time zero through the last busy interval recorded.
+func (u *UtilRecorder) Series() []float64 {
+	out := make([]float64, len(u.busyPer))
+	for i, b := range u.busyPer {
+		out[i] = float64(b) / float64(u.window)
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package ssd assembles complete simulated SSDs: the Table II
+// configuration, the Table III architecture matrix (baseSSD, pSSD, pnSSD,
+// pnSSD+split, and the two NoSSD mesh variants), and a one-call
+// constructor that wires engine, flash grid, SoC, fabric, FTL, and host
+// together. This is the public entry point the examples, the experiment
+// runners, and the benchmarks build on.
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Arch selects one of the evaluated SSD architectures (Table III).
+type Arch int
+
+// Architectures.
+const (
+	ArchBase       Arch = iota // conventional SSD: dedicated signaling, 8-bit bus
+	ArchNoSSDPin               // Network-on-SSD, pin-constrained 2-bit mesh links
+	ArchNoSSDFree              // Network-on-SSD, unconstrained 8-bit mesh links
+	ArchPSSD                   // packetized SSD: 16-bit packetized bus (Sec IV)
+	ArchPnSSD                  // pSSD + Omnibus topology (Sec V)
+	ArchPnSSDSplit             // pnSSD with split page transfers (Sec V-C)
+)
+
+// Archs lists every architecture in Table III order.
+var Archs = []Arch{ArchBase, ArchNoSSDPin, ArchNoSSDFree, ArchPSSD, ArchPnSSD, ArchPnSSDSplit}
+
+// String returns the paper's acronym.
+func (a Arch) String() string {
+	switch a {
+	case ArchBase:
+		return "baseSSD"
+	case ArchNoSSDPin:
+		return "NoSSD(pin-constraint)"
+	case ArchNoSSDFree:
+		return "NoSSD(no constraint)"
+	case ArchPSSD:
+		return "pSSD"
+	case ArchPnSSD:
+		return "pnSSD"
+	case ArchPnSSDSplit:
+		return "pnSSD(+split)"
+	default:
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+}
+
+// Describe returns the Table III description.
+func (a Arch) Describe() string {
+	switch a {
+	case ArchBase:
+		return "Conventional SSD"
+	case ArchNoSSDPin:
+		return "Network-on-SSD with 2-bit channel on mesh"
+	case ArchNoSSDFree:
+		return "Network-on-SSD with 8-bit channel on mesh"
+	case ArchPSSD:
+		return "Packetized SSD (Sec IV)"
+	case ArchPnSSD:
+		return "pSSD with Omnibus topology (Sec V)"
+	case ArchPnSSDSplit:
+		return "Split technique applied on pnSSD"
+	default:
+		return "unknown"
+	}
+}
+
+// Config is the simulation configuration; DefaultConfig reproduces Table
+// II and ScaledConfig shrinks per-plane block counts for fast tests and
+// benches while preserving every ratio the experiments depend on.
+type Config struct {
+	Channels int
+	Ways     int
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	// BusMTps is the flash channel transfer rate (Table II: 1000 MT/s).
+	BusMTps int
+	// FTL carries allocation policy and GC settings.
+	FTL ftl.Config
+	// LogicalUtilization is the fraction of raw capacity exported as LPNs
+	// (the rest is over-provisioning).
+	LogicalUtilization float64
+}
+
+// DefaultConfig returns the paper's Table II parameters: 8 channels, 8
+// ways, 1 die, 4 planes, 1024 blocks, 512 pages, 16 KB pages, ULL flash,
+// 1000 MT/s bus.
+func DefaultConfig() Config {
+	return Config{
+		Channels:           8,
+		Ways:               8,
+		Geometry:           flash.Geometry{Planes: 4, BlocksPerPlane: 1024, PagesPerBlock: 512, PageSize: 16384},
+		Timing:             flash.ULLTiming(),
+		BusMTps:            1000,
+		FTL:                ftl.DefaultConfig(),
+		LogicalUtilization: 0.875,
+	}
+}
+
+// ScaledConfig returns Table II with the per-plane block count and pages
+// per block reduced so whole-device experiments run in seconds. Channel
+// count, way count, plane count, page size, bus rate, and flash timing —
+// everything that shapes the interconnect results — are untouched.
+func ScaledConfig() Config {
+	c := DefaultConfig()
+	c.Geometry.BlocksPerPlane = 16
+	c.Geometry.PagesPerBlock = 32
+	return c
+}
+
+// Validate panics on malformed configuration.
+func (c Config) Validate() {
+	c.Geometry.Validate()
+	if c.Channels <= 0 || c.Ways <= 0 || c.BusMTps <= 0 {
+		panic(fmt.Sprintf("ssd: invalid config %+v", c))
+	}
+	if c.LogicalUtilization <= 0 || c.LogicalUtilization >= 1 {
+		panic("ssd: LogicalUtilization must be in (0,1)")
+	}
+}
+
+// RawPages returns the device's physical page count.
+func (c Config) RawPages() int64 {
+	return int64(c.Channels) * int64(c.Ways) * int64(c.Geometry.PagesPerChip())
+}
+
+// LogicalPages returns the exported LPN count.
+func (c Config) LogicalPages() int64 {
+	return int64(float64(c.RawPages()) * c.LogicalUtilization)
+}
+
+// totalFlashMBps is the aggregate baseline flash bus bandwidth used to
+// provision SoC and NVMe resources (Table II's "x1" note).
+func (c Config) totalFlashMBps() int { return c.Channels * c.BusMTps }
+
+// SSD is one assembled device.
+type SSD struct {
+	Arch   Arch
+	Config Config
+	Engine *sim.Engine
+	Grid   *controller.Grid
+	Soc    *controller.Soc
+	Fabric controller.Fabric
+	FTL    *ftl.FTL
+	Host   *host.Host
+}
+
+// New builds an SSD of the given architecture. The SoC and NVMe
+// bandwidths are provisioned at the architecture's total flash-channel
+// bandwidth so they never bottleneck the interconnect under study
+// (Sec VII-A).
+func New(arch Arch, cfg Config) *SSD {
+	cfg.Validate()
+	eng := sim.NewEngine()
+	grid := controller.NewGrid(eng, cfg.Channels, cfg.Ways, cfg.Geometry, cfg.Timing)
+
+	// Controller-side bandwidth multiplier: packetized architectures double
+	// the per-controller pin bandwidth (16 bits vs 8).
+	mult := 1
+	switch arch {
+	case ArchPSSD, ArchPnSSD, ArchPnSSDSplit, ArchNoSSDFree:
+		mult = 2
+	}
+	socMBps := cfg.totalFlashMBps() * mult
+	soc := controller.NewSoc(eng, socMBps, socMBps)
+
+	fab := makeFabric(arch, eng, grid, soc, cfg)
+	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
+	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h}
+}
+
+// NewCustom builds an SSD whose fabric comes from the supplied
+// constructor — the hook the ablation studies use to vary channel widths,
+// routing policy, or control-plane latency while keeping the rest of the
+// stack identical. The arch parameter only labels the result.
+func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric) *SSD {
+	cfg.Validate()
+	eng := sim.NewEngine()
+	grid := controller.NewGrid(eng, cfg.Channels, cfg.Ways, cfg.Geometry, cfg.Timing)
+	socMBps := cfg.totalFlashMBps() * 2
+	soc := controller.NewSoc(eng, socMBps, socMBps)
+	fab := mk(eng, grid, soc, cfg.Geometry.PageSize)
+	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
+	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h}
+}
+
+func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {
+	var fab controller.Fabric
+	ps := cfg.Geometry.PageSize
+	switch arch {
+	case ArchBase:
+		fab = controller.NewBusFabric(eng, arch.String(), grid, soc, ps, 8, cfg.BusMTps, false)
+	case ArchPSSD:
+		fab = controller.NewBusFabric(eng, arch.String(), grid, soc, ps, 16, cfg.BusMTps, true)
+	case ArchPnSSD:
+		fab = controller.NewOmnibusFabric(eng, arch.String(), grid, soc, ps, 8, cfg.BusMTps, false)
+	case ArchPnSSDSplit:
+		fab = controller.NewOmnibusFabric(eng, arch.String(), grid, soc, ps, 8, cfg.BusMTps, true)
+	case ArchNoSSDPin:
+		fab = controller.NewMeshFabric(eng, arch.String(), grid, soc, ps, 2, cfg.BusMTps)
+	case ArchNoSSDFree:
+		fab = controller.NewMeshFabric(eng, arch.String(), grid, soc, ps, 8, cfg.BusMTps)
+	default:
+		panic(fmt.Sprintf("ssd: unknown architecture %d", int(arch)))
+	}
+	return fab
+}
+
+// AttachChannelUtil attaches per-channel utilization recorders with the
+// given window to every h-channel (bus and Omnibus fabrics) and returns
+// the matrix — the instrument behind Fig 3. Mesh fabrics have no channel
+// notion and return nil.
+func (s *SSD) AttachChannelUtil(window sim.Time) *stats.UtilMatrix {
+	switch fab := s.Fabric.(type) {
+	case *controller.BusFabric:
+		m := stats.NewUtilMatrix(s.Config.Channels, window)
+		for ch := 0; ch < s.Config.Channels; ch++ {
+			fab.Channel(ch).SetUtilRecorder(m.Recorders[ch])
+		}
+		return m
+	case *controller.OmnibusFabric:
+		m := stats.NewUtilMatrix(s.Config.Channels, window)
+		for ch := 0; ch < s.Config.Channels; ch++ {
+			fab.HChannel(ch).SetUtilRecorder(m.Recorders[ch])
+		}
+		return m
+	default:
+		return nil
+	}
+}
+
+// Run drains the event queue and returns the final simulation time.
+func (s *SSD) Run() sim.Time { return s.Engine.Run() }
+
+// Metrics returns the host-side I/O metrics.
+func (s *SSD) Metrics() *stats.IOMetrics { return s.Host.Metrics() }

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Add(10 * sim.Microsecond)
+	h.Add(20 * sim.Microsecond)
+	h.Add(30 * sim.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 20*sim.Microsecond {
+		t.Fatalf("Mean = %v, want 20us", h.Mean())
+	}
+	if h.Min() != 10*sim.Microsecond || h.Max() != 30*sim.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(7))
+	var samples []sim.Time
+	for i := 0; i < 20000; i++ {
+		// log-uniform from 1us to 10ms
+		v := sim.Time(float64(sim.Microsecond) * pow10(rng.Float64()*4))
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		exact := ExactPercentile(samples, p)
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.94 || ratio > 1.06 {
+			t.Errorf("p%.1f: histogram=%v exact=%v ratio=%.3f", p, got, exact, ratio)
+		}
+	}
+}
+
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	// linear-ish interpolation is fine for test data generation
+	return r * (1 + 9*x/1.0)
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(0)
+	h.Add(5 * sim.Millisecond)
+	if h.Percentile(0) != 0 {
+		t.Fatalf("p0 = %v, want 0", h.Percentile(0))
+	}
+	if h.Percentile(100) != 5*sim.Millisecond {
+		t.Fatalf("p100 = %v, want 5ms", h.Percentile(100))
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sample did not panic")
+		}
+	}()
+	NewLatencyHistogram().Add(-1)
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	a.Add(sim.Microsecond)
+	b.Add(3 * sim.Microsecond)
+	b.Add(5 * sim.Microsecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", a.Count())
+	}
+	if a.Mean() != 3*sim.Microsecond {
+		t.Fatalf("Mean = %v, want 3us", a.Mean())
+	}
+	if a.Min() != sim.Microsecond || a.Max() != 5*sim.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * sim.Microsecond)
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	last := pts[len(pts)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("CDF does not reach 1: %v", last.Fraction)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [min, max].
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		h := NewLatencyHistogram()
+		for _, v := range raw {
+			h.Add(sim.Time(v))
+		}
+		prev := sim.Time(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			if h.Count() > 0 && (v < h.Min() || v > h.Max()) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	s := []sim.Time{50, 10, 40, 30, 20}
+	if got := ExactPercentile(s, 50); got != 30 {
+		t.Fatalf("p50 = %v, want 30", got)
+	}
+	if got := ExactPercentile(s, 0); got != 10 {
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	if got := ExactPercentile(s, 100); got != 50 {
+		t.Fatalf("p100 = %v, want 50", got)
+	}
+	if got := ExactPercentile(nil, 50); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+	// input must not be mutated
+	if s[0] != 50 {
+		t.Fatal("ExactPercentile mutated input")
+	}
+}

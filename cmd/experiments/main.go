@@ -23,6 +23,7 @@ func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention (empty = all)")
 	table := flag.String("table", "", "table to print: 1,2,3")
 	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
+	faultExp := flag.String("fault", "", "fault/RAS experiment: sweep (fault-rate x architecture), degraded (v-channel kill + grant drops), all")
 	quick := flag.Bool("quick", false, "small runs for a fast smoke pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -69,6 +70,8 @@ func main() {
 	}
 
 	switch {
+	case *faultExp != "":
+		runFaultExperiments(*faultExp, opt, emit)
 	case *ablation != "":
 		runAblations(*ablation, opt, emit)
 	case *table != "":
@@ -354,6 +357,53 @@ func runAblations(which string, opt exp.Options, emit func(*report.Table)) {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown ablation %q\n", which)
+		os.Exit(2)
+	}
+}
+
+func runFaultExperiments(which string, opt exp.Options, emit func(*report.Table)) {
+	ran := false
+	if which == "sweep" || which == "all" {
+		ran = true
+		rows := exp.FaultSweep(opt)
+		t := report.New("Degraded mode: fault-rate sweep x architecture (rocksdb-0, PaGC, >=2 program-fails + 1 erase-fail per chip)",
+			"architecture", "read-ECC rate", "mean latency", "p99", "KIOPS",
+			"retries", "relays", "retired", "remaps", "ok")
+		for _, r := range rows {
+			ok := "yes"
+			if !r.Consistent || !r.Completed {
+				ok = "NO"
+			}
+			t.Add(r.Arch.String(), report.Pct(r.ReadECC), r.Latency.String(), r.P99.String(),
+				report.F1(r.KIOPS), fmt.Sprint(r.RAS.ReadRetries), fmt.Sprint(r.RAS.ReadRelays),
+				fmt.Sprint(r.RAS.BlocksRetired), fmt.Sprint(r.RAS.WriteRemaps), ok)
+		}
+		emit(t)
+	}
+	if which == "degraded" || which == "all" {
+		ran = true
+		rows := exp.DegradedSweep(opt)
+		t := report.New("Degraded mode: pnSSD+split with SpGC under interconnect faults (rocksdb-0)",
+			"scenario", "mean latency", "p99", "KIOPS", "vs healthy",
+			"grant drops", "failovers", "dead-v copies", "degraded returns", "ok")
+		for _, r := range rows {
+			ok := "yes"
+			if !r.Consistent || !r.Completed {
+				ok = "NO"
+			}
+			t.Add(r.Name, r.Latency.String(), r.P99.String(), report.F1(r.KIOPS),
+				report.Pct(r.Delta), fmt.Sprint(r.RAS.GrantDrops), fmt.Sprint(r.RAS.CopyFailovers),
+				fmt.Sprint(r.RAS.DeadVCopies), fmt.Sprint(r.RAS.DegradedReturns), ok)
+		}
+		emit(t)
+		for _, r := range rows {
+			if r.RAS.TotalFaults() > 0 {
+				emit(report.RASTable("RAS counters: "+r.Name, r.RAS))
+			}
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown fault experiment %q\n", which)
 		os.Exit(2)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/sim"
 )
@@ -43,14 +44,12 @@ type OmnibusFabric struct {
 	// route selects the I/O path policy; GC copies always use v-channels.
 	route RoutePolicy
 
-	// onDieEccFailRate injects hybrid-ECC fallbacks (Sec VIII): with this
-	// probability the weak on-die check of a direct flash-to-flash copy
-	// "detects" an error it cannot correct and the page re-routes through
-	// the controller's strong LDPC — the relay path. Deterministic per
-	// fabric via a seeded counter hash.
-	onDieEccFailRate float64
-	eccDraws         uint64
-	eccFallbacks     int64
+	// faults supplies deterministic interconnect fault draws: on-die ECC
+	// fallbacks for direct copies (Sec VIII hybrid ECC), lost
+	// request/grant exchanges, and whole-v-channel kill-switches that
+	// force degraded-mode routing. Nil means no injection.
+	faults       *fault.Injector
+	eccFallbacks int64
 
 	vpageRetry sim.Time
 
@@ -170,14 +169,30 @@ func (f *OmnibusFabric) SetAdaptive(on bool) {
 	}
 }
 
+// SetFaultInjector attaches the shared fault injector. Nil detaches it.
+func (f *OmnibusFabric) SetFaultInjector(inj *fault.Injector) { f.faults = inj }
+
+// FaultInjector returns the attached injector (possibly nil).
+func (f *OmnibusFabric) FaultInjector() *fault.Injector { return f.faults }
+
+// ensureFaults returns the fabric's injector, creating a default one (no
+// faults enabled) on first use so rate setters work standalone.
+func (f *OmnibusFabric) ensureFaults() *fault.Injector {
+	if f.faults == nil {
+		f.faults = fault.New(fault.Config{Seed: 1})
+	}
+	return f.faults
+}
+
 // SetOnDieEccFailRate sets the probability that a direct flash-to-flash
 // copy fails its on-die error check and falls back to the
-// controller-relayed strong-ECC path.
+// controller-relayed strong-ECC path. It is a convenience wrapper over
+// the fault injector's OnDieECC class.
 func (f *OmnibusFabric) SetOnDieEccFailRate(rate float64) {
 	if rate < 0 || rate > 1 {
 		panic("controller: ECC fail rate outside [0,1]")
 	}
-	f.onDieEccFailRate = rate
+	f.ensureFaults().SetRate(fault.OnDieECC, rate)
 }
 
 // EccFallbacks returns how many direct copies re-routed through the
@@ -186,16 +201,13 @@ func (f *OmnibusFabric) EccFallbacks() int64 { return f.eccFallbacks }
 
 // eccFails draws the next deterministic on-die ECC outcome.
 func (f *OmnibusFabric) eccFails() bool {
-	if f.onDieEccFailRate <= 0 {
-		return false
-	}
-	f.eccDraws++
-	// SplitMix64 on the draw counter: deterministic, well mixed.
-	x := f.eccDraws * 0x9E3779B97F4A7C15
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	return float64(x%1_000_000)/1_000_000 < f.onDieEccFailRate
+	return f.faults.Draw(fault.OnDieECC)
+}
+
+// vDead reports whether the v-channel serving a way-column is
+// kill-switched; degraded-mode routing must avoid it.
+func (f *OmnibusFabric) vDead(way int) bool {
+	return f.faults.VChannelDead(f.vIndex(way))
 }
 
 // routeToV reports whether a host transfer should take the v-channel.
@@ -240,6 +252,17 @@ func (f *OmnibusFabric) returnData(id ChipID, n int, done func()) {
 	hifc, vifc := f.hIface[id.Channel], f.vIface[f.vIndex(id.Way)]
 	finish := func() {
 		f.eng.Schedule(EccLatency, func() { f.soc.Transfer(n, done) })
+	}
+	if f.vDead(id.Way) {
+		// Degraded mode: the column's v-channel is dead, so path diversity
+		// collapses and the whole payload returns over the row's h-channel
+		// — the failover the paper's path redundancy makes possible.
+		if r := f.faults.RAS(); r != nil {
+			r.DegradedReturns++
+		}
+		f.hReturns++
+		hch.Use(hifc.ReadXfer(n), finish)
+		return
 	}
 	if f.split && n > 1 && hch.Load() == 0 && vch.Load() == 0 {
 		// Half the payload on each bus; the v half first traverses the
@@ -294,6 +317,14 @@ func (f *OmnibusFabric) Write(id ChipID, ops []flash.ProgramOp, done func()) {
 	f.soc.Transfer(n, func() {
 		f.eng.Schedule(EccLatency, func() {
 			program := func() { chip.Program(writes, done) }
+			if f.vDead(id.Way) {
+				// Degraded mode: deliver the whole payload on the h-channel.
+				if r := f.faults.RAS(); r != nil {
+					r.DegradedReturns++
+				}
+				hch.Use(hifc.ProgramXfer(n), program)
+				return
+			}
 			// Split applies to read returns only. Splitting program
 			// payloads couples every write to its column's v-channel, and
 			// with way-striped allocation policies consecutive writes
@@ -355,16 +386,29 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 		f.relayCopy(src, from, dst, to, done)
 		return
 	}
+	if f.vDead(src.Way) {
+		// Degraded mode: the column's v-channel is dead, so the SpGC
+		// direct path is unavailable and the copy falls back to the
+		// controller-relayed route over the rows' h-channels.
+		if r := f.faults.RAS(); r != nil {
+			r.DeadVCopies++
+		}
+		f.relayedCopies++
+		f.relayCopy(src, from, dst, to, done)
+		return
+	}
 	if f.eccFails() {
 		// Hybrid ECC (Sec VIII): the weak on-die detector flagged this
 		// page; only the controller's LDPC can correct it, so the copy
 		// takes the relayed route through the strong-ECC engine.
 		f.eccFallbacks++
+		if r := f.faults.RAS(); r != nil {
+			r.OnDieECCFallbacks++
+		}
 		f.relayedCopies++
 		f.relayCopy(src, from, dst, to, done)
 		return
 	}
-	f.directCopies++
 	vch := f.v[f.vIndex(src.Way)]
 	vifc := f.vIface[f.vIndex(src.Way)]
 	srcChip, dstChip := f.grid.Chip(src), f.grid.Chip(dst)
@@ -373,10 +417,29 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 	// v-channel owner, the owner checks the destination's buffer status,
 	// and the grant comes back — three one-way messages. The V-page
 	// register is reserved at grant time; if none is free, the request
-	// retries after a backoff.
+	// retries after a backoff. An injected GrantDrop loses the exchange:
+	// the source controller times out after GrantTimeout<<attempt and
+	// re-requests, and when the retry budget is exhausted it fails over
+	// to the controller-relayed path — a grant is never awaited forever.
+	attempts := 0
 	var arbitrate func()
 	arbitrate = func() {
 		f.soc.CtrlMsg(func() { // request: source ctrl -> v-channel owner
+			if f.faults.Draw(fault.GrantDrop) {
+				ras := f.faults.RAS()
+				ras.GrantDrops++
+				cfg := f.faults.Config()
+				attempts++
+				if attempts > cfg.GrantRetryMax {
+					ras.CopyFailovers++
+					f.relayedCopies++
+					f.relayCopy(src, from, dst, to, done)
+					return
+				}
+				ras.GrantRetries++
+				f.eng.Schedule(cfg.GrantTimeout<<uint(attempts-1), arbitrate)
+				return
+			}
 			f.soc.CtrlMsg(func() { // buffer-status check at destination ctrl
 				reg := dstChip.AcquireVPage()
 				if reg < 0 {
@@ -384,6 +447,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 					return
 				}
 				f.soc.CtrlMsg(func() { // grant back to source ctrl
+					f.directCopies++
 					f.directTransfer(vch, vifc, srcChip, from, dstChip, reg, to, done)
 				})
 			})

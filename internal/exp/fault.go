@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FaultSweepRow is one (architecture, fault rate) point of the
+// degraded-mode sweep.
+type FaultSweepRow struct {
+	Arch       ssd.Arch
+	ReadECC    float64 // transient read-ECC fail rate
+	Latency    sim.Time
+	P99        sim.Time
+	KIOPS      float64
+	RAS        *stats.RAS
+	Consistent bool // ftl.CheckConsistency after the faulted run
+	Completed  bool // every request of the trace finished
+}
+
+// FaultSweep replays a GC-heavy trace on every architecture at
+// increasing transient read-ECC rates while forcing at least two program
+// failures and one erase failure per chip — the graceful-degradation
+// acceptance run. Every row must complete its trace and pass the FTL
+// consistency check; the RAS counters quantify the recovery work.
+func FaultSweep(opt Options) []FaultSweepRow {
+	opt = opt.withDefaults()
+	rates := []float64{0, 0.005, 0.01}
+	var rows []FaultSweepRow
+	for _, arch := range ssd.Archs {
+		for _, rate := range rates {
+			cfg := gcCfg(opt)
+			cfg.FTL.GCMode = ftl.GCParallel
+			cfg.Fault = &fault.Config{
+				Seed:                uint64(opt.Seed),
+				ReadECCRate:         rate,
+				OnDieECCRate:        rate,
+				ProgramFailsPerChip: 2,
+				EraseFailsPerChip:   1,
+			}
+			s := ssd.New(arch, cfg)
+			warm(s, opt.ChurnFraction, opt.Seed)
+			tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+			if err != nil {
+				panic(err)
+			}
+			completed := s.Host.Replay(tr.Requests)
+			s.Run()
+			m := s.Metrics()
+			rows = append(rows, FaultSweepRow{
+				Arch:       arch,
+				ReadECC:    rate,
+				Latency:    m.MeanLatency(),
+				P99:        m.Combined().P99(),
+				KIOPS:      m.KIOPS(),
+				RAS:        s.RAS(),
+				Consistent: s.FTL.CheckConsistency() == nil,
+				Completed:  *completed == len(tr.Requests),
+			})
+		}
+	}
+	return rows
+}
+
+// DegradedRow is one interconnect-degradation scenario on pnSSD+split.
+type DegradedRow struct {
+	Name       string
+	Latency    sim.Time
+	P99        sim.Time
+	KIOPS      float64
+	Delta      float64 // KIOPS relative to the healthy baseline - 1
+	RAS        *stats.RAS
+	Consistent bool
+	Completed  bool
+}
+
+// DegradedSweep measures pnSSD+split with SpGC under interconnect
+// faults: a lossy control plane (grant drops resolved by timeout/retry/
+// failover) and each v-channel killed in turn, which forces degraded-mode
+// routing — reads return over the row's h-channel and SpGC copies relay
+// through the controller. Throughput must degrade, never deadlock.
+func DegradedSweep(opt Options) []DegradedRow {
+	opt = opt.withDefaults()
+
+	run := func(name string, fc fault.Config) DegradedRow {
+		cfg := gcCfg(opt)
+		cfg.FTL.GCMode = ftl.GCSpatial
+		fc.Seed = uint64(opt.Seed)
+		cfg.Fault = &fc
+		s := ssd.New(ssd.ArchPnSSDSplit, cfg)
+		warm(s, opt.ChurnFraction, opt.Seed)
+		tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+		if err != nil {
+			panic(err)
+		}
+		completed := s.Host.Replay(tr.Requests)
+		s.Run()
+		m := s.Metrics()
+		return DegradedRow{
+			Name:       name,
+			Latency:    m.MeanLatency(),
+			P99:        m.Combined().P99(),
+			KIOPS:      m.KIOPS(),
+			RAS:        s.RAS(),
+			Consistent: s.FTL.CheckConsistency() == nil,
+			Completed:  *completed == len(tr.Requests),
+		}
+	}
+
+	rows := []DegradedRow{
+		run("healthy baseline", fault.Config{}),
+		run("grant drop 10%", fault.Config{GrantDropRate: 0.1}),
+	}
+	numV := opt.Cfg.Channels
+	if opt.Cfg.Ways < numV {
+		numV = opt.Cfg.Ways
+	}
+	for v := 0; v < numV; v++ {
+		rows = append(rows, run(fmt.Sprintf("v-channel %d dead", v),
+			fault.Config{DeadVChannels: []int{v}}))
+	}
+	base := rows[0].KIOPS
+	for i := range rows {
+		if base > 0 {
+			rows[i].Delta = rows[i].KIOPS/base - 1
+		}
+	}
+	return rows
+}

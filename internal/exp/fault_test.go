@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+func TestFaultSweepQuick(t *testing.T) {
+	rows := FaultSweep(Quick())
+	if len(rows) != len(ssd.Archs)*3 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(ssd.Archs)*3)
+	}
+	for _, r := range rows {
+		if !r.Completed {
+			t.Fatalf("%v @ %.3f did not complete its trace", r.Arch, r.ReadECC)
+		}
+		if !r.Consistent {
+			t.Fatalf("%v @ %.3f failed the consistency check", r.Arch, r.ReadECC)
+		}
+		if r.RAS == nil {
+			t.Fatalf("%v @ %.3f has no RAS counters", r.Arch, r.ReadECC)
+		}
+		// The per-chip quotas fire at every rate, including zero.
+		if r.RAS.ProgramFails == 0 || r.RAS.BlocksRetired == 0 {
+			t.Fatalf("%v @ %.3f: quotas forced no retirement", r.Arch, r.ReadECC)
+		}
+		if r.ReadECC > 0 && r.RAS.ReadFaults == 0 {
+			t.Fatalf("%v @ %.3f: nonzero rate injected no read faults", r.Arch, r.ReadECC)
+		}
+		if r.ReadECC == 0 && r.RAS.ReadFaults != 0 {
+			t.Fatalf("%v: zero rate injected read faults", r.Arch)
+		}
+	}
+}
+
+func TestDegradedSweepQuick(t *testing.T) {
+	opt := Quick()
+	rows := DegradedSweep(opt)
+	numV := opt.Cfg.Channels
+	if opt.Cfg.Ways < numV {
+		numV = opt.Cfg.Ways
+	}
+	if len(rows) != 2+numV {
+		t.Fatalf("rows = %d, want %d", len(rows), 2+numV)
+	}
+	for _, r := range rows {
+		if !r.Completed {
+			t.Fatalf("%q did not complete its trace", r.Name)
+		}
+		if !r.Consistent {
+			t.Fatalf("%q failed the consistency check", r.Name)
+		}
+	}
+	if rows[0].Delta != 0 {
+		t.Fatalf("healthy baseline delta = %v, want 0", rows[0].Delta)
+	}
+	if rows[1].RAS.GrantDrops == 0 {
+		t.Fatal("grant-drop scenario dropped no grants")
+	}
+	degradedSeen := false
+	for _, r := range rows[2:] {
+		if r.RAS.DegradedReturns > 0 || r.RAS.DeadVCopies > 0 {
+			degradedSeen = true
+		}
+	}
+	if !degradedSeen {
+		t.Fatal("no dead-v scenario recorded degraded routing")
+	}
+}

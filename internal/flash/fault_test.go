@@ -1,0 +1,91 @@
+package flash
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func TestReadRetryLadderExtendsDieTime(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTestChip(e)
+	a := PPA{Plane: 0, Block: 0, Page: 0}
+	c.InstallPage(a, 0xAB)
+
+	inj := fault.New(fault.Config{Seed: 1, ReadECCRate: 1.0})
+	c.SetFaults(inj, 0)
+
+	done := false
+	c.Read([]PPA{a}, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("faulted read never completed")
+	}
+	// Rate 1.0 never recovers: the full ladder (3 re-senses at tR +
+	// k*2us) then the 10us strong-ECC relay, on top of the base tR.
+	cfg := inj.Config()
+	want := c.timing.Read
+	for k := 1; k <= cfg.ReadRetryMax; k++ {
+		want += c.timing.Read + sim.Time(k)*cfg.ReadRetryStep
+	}
+	want += cfg.StrongECCLatency
+	if e.Now() != want {
+		t.Fatalf("faulted read took %v, want %v", e.Now(), want)
+	}
+	if c.PageRegister(0) != 0xAB {
+		t.Fatal("relay path lost page content")
+	}
+	r := inj.RAS()
+	if r.ReadFaults != 1 || r.ReadRetries != int64(cfg.ReadRetryMax) || r.ReadRelays != 1 {
+		t.Fatalf("RAS = faults %d retries %d relays %d", r.ReadFaults, r.ReadRetries, r.ReadRelays)
+	}
+	if r.RetryLadder.Max() != cfg.ReadRetryMax {
+		t.Fatalf("retry ladder max = %d", r.RetryLadder.Max())
+	}
+}
+
+func TestZeroRateAddsNoPenalty(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTestChip(e)
+	a := PPA{Plane: 0, Block: 0, Page: 0}
+	c.InstallPage(a, 1)
+	c.SetFaults(fault.New(fault.Config{Seed: 1}), 0)
+	c.Read([]PPA{a}, nil)
+	e.Run()
+	if e.Now() != c.timing.Read {
+		t.Fatalf("unfaulted read took %v, want %v", e.Now(), c.timing.Read)
+	}
+	if inj := c.faults; inj.RAS().ReadFaults != 0 {
+		t.Fatal("zero-rate injector recorded read faults")
+	}
+}
+
+func TestMultiPlaneWorstPageBounds(t *testing.T) {
+	// With rate 1.0 every page faults; planes re-sense in parallel so the
+	// multi-plane read still costs one ladder, not four.
+	e := sim.NewEngine()
+	c := newTestChip(e)
+	var ppas []PPA
+	for pl := 0; pl < 4; pl++ {
+		a := PPA{Plane: pl, Block: 0, Page: 0}
+		c.InstallPage(a, Token(pl+1))
+		ppas = append(ppas, a)
+	}
+	inj := fault.New(fault.Config{Seed: 1, ReadECCRate: 1.0})
+	c.SetFaults(inj, 0)
+	c.Read(ppas, nil)
+	e.Run()
+	cfg := inj.Config()
+	want := c.timing.Read
+	for k := 1; k <= cfg.ReadRetryMax; k++ {
+		want += c.timing.Read + sim.Time(k)*cfg.ReadRetryStep
+	}
+	want += cfg.StrongECCLatency
+	if e.Now() != want {
+		t.Fatalf("multi-plane faulted read took %v, want %v (worst page only)", e.Now(), want)
+	}
+	if inj.RAS().ReadFaults != 4 {
+		t.Fatalf("ReadFaults = %d, want 4", inj.RAS().ReadFaults)
+	}
+}

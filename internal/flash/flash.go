@@ -13,6 +13,7 @@ package flash
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -132,6 +133,11 @@ type Chip struct {
 	eraseCount [][]int
 
 	reads, programs, erases int64
+
+	// faults injects transient read ECC failures; faultKey identifies
+	// this chip in the injector's per-chip quota accounting.
+	faults   *fault.Injector
+	faultKey uint64
 }
 
 // NumVPageRegisters is the count of extra V-page registers the pnSSD
@@ -172,6 +178,13 @@ func (c *Chip) Geometry() Geometry { return c.geo }
 
 // Timing returns the array timing.
 func (c *Chip) Timing() Timing { return c.timing }
+
+// SetFaults attaches a fault injector. key identifies this chip for
+// per-chip fault quotas; nil disables injection.
+func (c *Chip) SetFaults(inj *fault.Injector, key uint64) {
+	c.faults = inj
+	c.faultKey = key
+}
 
 // Busy reports whether the die is executing an array operation — the R/B_n
 // pin abstraction.
@@ -234,7 +247,9 @@ func (c *Chip) Read(ppas []PPA, done func()) {
 	}
 	addrs := append([]PPA(nil), ppas...)
 	c.die.Acquire(func() {
-		c.eng.Schedule(c.timing.Read, func() {
+		// The retry ladder extends the die-busy window: re-senses hold the
+		// array exactly like the first sense does on real NAND.
+		c.eng.Schedule(c.timing.Read+c.readFaultPenalty(len(addrs)), func() {
 			for _, a := range addrs {
 				c.pageReg[a.Plane] = c.content[a.Plane][c.pageIndex(a)]
 			}
@@ -245,6 +260,49 @@ func (c *Chip) Read(ppas []PPA, done func()) {
 			}
 		})
 	})
+}
+
+// readFaultPenalty draws the transient-ECC outcome for each page of a
+// read and returns the extra die time the worst page costs. A faulted
+// page climbs the read-retry ladder — retry k re-senses at tR plus
+// k*ReadRetryStep (modelling shifted-Vref sensing) — and if the ladder is
+// exhausted the page relays through the controller's strong ECC engine
+// for StrongECCLatency. Planes sense in parallel, so the slowest page
+// bounds the multi-plane operation.
+func (c *Chip) readFaultPenalty(pages int) sim.Time {
+	if c.faults == nil || c.faults.Rate(fault.ReadECC) <= 0 {
+		return 0
+	}
+	cfg := c.faults.Config()
+	ras := c.faults.RAS()
+	var worst sim.Time
+	for p := 0; p < pages; p++ {
+		if !c.faults.DrawFor(fault.ReadECC, c.faultKey) {
+			continue
+		}
+		ras.ReadFaults++
+		var pen sim.Time
+		retries := 0
+		recovered := false
+		for retries < cfg.ReadRetryMax {
+			retries++
+			pen += c.timing.Read + sim.Time(retries)*cfg.ReadRetryStep
+			if !c.faults.DrawFor(fault.ReadECC, c.faultKey) {
+				recovered = true
+				break
+			}
+		}
+		ras.ReadRetries += int64(retries)
+		ras.RetryLadder.Add(retries)
+		if !recovered {
+			ras.ReadRelays++
+			pen += cfg.StrongECCLatency
+		}
+		if pen > worst {
+			worst = pen
+		}
+	}
+	return worst
 }
 
 // ProgramOp names a target page and the token to program into it.

@@ -1,11 +1,18 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/controller"
 	"repro/internal/flash"
 )
+
+// ErrNoFreeBlock reports that a plane has no erased block to open. It is
+// a recoverable condition, not an invariant violation: under injected
+// program/erase failures the free pool shrinks as blocks retire, and
+// callers stall or retry rather than crash.
+var ErrNoFreeBlock = errors.New("ftl: no free block in plane")
 
 // Dim is one striping dimension of the page allocation policy.
 type Dim int
@@ -54,6 +61,9 @@ const (
 	BlockActive
 	BlockFull
 	BlockErasing
+	// BlockRetired is terminal: the block failed a program or erase and
+	// left service. It is never erased, freed, or allocated again.
+	BlockRetired
 )
 
 // blockInfo is the FTL's bookkeeping for one physical block.
@@ -62,6 +72,11 @@ type blockInfo struct {
 	validCount int32
 	inflight   int32 // writes issued but not yet completed
 	readRefs   int32 // host reads issued but not yet completed; gates erase
+	// bad marks a block that failed a program or erase. Valid pages on a
+	// bad block remain readable and are migrated off by GC, after which
+	// the block transitions to BlockRetired instead of returning to the
+	// free pool.
+	bad bool
 	// lastWrite is the time of the most recent program into this block,
 	// the age signal cost-benefit victim selection uses.
 	lastWrite int64
@@ -97,13 +112,15 @@ func (ps *planeState) hasSpace() bool { return ps.active >= 0 || len(ps.free) > 
 // freeBlocks returns the count of fully erased blocks.
 func (ps *planeState) freeBlocks() int { return len(ps.free) }
 
-// allocate returns the next (block, page) in sequence; callers must check
-// hasSpace first.
-func (ps *planeState) allocate() (block, page int) {
+// allocate returns the next (block, page) in sequence. Allocating on a
+// full plane returns ErrNoFreeBlock — recoverable, because injected
+// faults can retire blocks between a caller's space check and the
+// allocation itself.
+func (ps *planeState) allocate() (block, page int, err error) {
 	if ps.active < 0 {
 		n := len(ps.free)
 		if n == 0 {
-			panic("ftl: allocate on full plane")
+			return 0, 0, ErrNoFreeBlock
 		}
 		ps.active = ps.free[n-1]
 		ps.free = ps.free[:n-1]
@@ -116,7 +133,7 @@ func (ps *planeState) allocate() (block, page int) {
 		ps.blocks[ps.active].state = BlockFull
 		ps.active = -1
 	}
-	return block, page
+	return block, page, nil
 }
 
 // hasGCSpace reports whether a GC copy destination can be allocated
@@ -127,13 +144,13 @@ func (ps *planeState) hasGCSpace() bool { return ps.gcActive >= 0 || len(ps.free
 // the destination chooser prefers so copies stream into few blocks.
 func (ps *planeState) gcOpen() bool { return ps.gcActive >= 0 }
 
-// allocateGC returns the next (block, page) of the plane's GC stream;
-// callers must check hasGCSpace first.
-func (ps *planeState) allocateGC() (block, page int) {
+// allocateGC returns the next (block, page) of the plane's GC stream, or
+// ErrNoFreeBlock when no erased block remains to open.
+func (ps *planeState) allocateGC() (block, page int, err error) {
 	if ps.gcActive < 0 {
 		n := len(ps.free)
 		if n == 0 {
-			panic("ftl: allocateGC on plane with no space")
+			return 0, 0, ErrNoFreeBlock
 		}
 		ps.gcActive = ps.free[n-1]
 		ps.free = ps.free[:n-1]
@@ -146,7 +163,7 @@ func (ps *planeState) allocateGC() (block, page int) {
 		ps.blocks[ps.gcActive].state = BlockFull
 		ps.gcActive = -1
 	}
-	return block, page
+	return block, page, nil
 }
 
 // slot is one (chip, plane) allocation target.

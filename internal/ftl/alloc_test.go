@@ -138,14 +138,17 @@ func TestPhysIndexInjective(t *testing.T) {
 
 func TestPlaneStateGCAndHostStreamsIndependent(t *testing.T) {
 	ps := newPlaneState(4, 4)
-	hb, _ := ps.allocate()
-	gb, _ := ps.allocateGC()
+	hb, _, _ := ps.allocate()
+	gb, _, _ := ps.allocateGC()
 	if hb == gb {
 		t.Fatal("host and GC streams share a block")
 	}
 	// Fill the host block; the GC block must be untouched.
 	for i := 1; i < 4; i++ {
-		b, p := ps.allocate()
+		b, p, err := ps.allocate()
+		if err != nil {
+			t.Fatalf("host allocation %d failed: %v", i, err)
+		}
 		if b != hb || p != i {
 			t.Fatalf("host allocation %d = (%d,%d)", i, b, p)
 		}
@@ -157,7 +160,7 @@ func TestPlaneStateGCAndHostStreamsIndependent(t *testing.T) {
 		t.Fatal("GC block state disturbed by host stream")
 	}
 	// GC stream continues from page 1.
-	if b, p := ps.allocateGC(); b != gb || p != 1 {
+	if b, p, _ := ps.allocateGC(); b != gb || p != 1 {
 		t.Fatalf("GC allocation = (%d,%d), want (%d,1)", b, p, gb)
 	}
 }

@@ -14,8 +14,10 @@ import (
 	"fmt"
 
 	"repro/internal/controller"
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // GCMode selects the garbage collection engine.
@@ -142,6 +144,9 @@ type FTL struct {
 	gcActive  bool
 	gcGroupLo bool // SpGC: true when the low-way half is the GC group
 	stats     Stats
+
+	// faults draws program/erase failure outcomes; nil means no injection.
+	faults *fault.Injector
 }
 
 // New builds an FTL over the fabric. numLPNs is the exported logical
@@ -188,6 +193,32 @@ func New(eng *sim.Engine, fab controller.Fabric, cfg Config, numLPNs int64) *FTL
 
 // Stats returns a copy of the accumulated statistics.
 func (f *FTL) Stats() Stats { return f.stats }
+
+// SetFaults attaches the fault injector; nil disables injection.
+func (f *FTL) SetFaults(inj *fault.Injector) { f.faults = inj }
+
+// chipKey identifies a chip in the injector's per-chip quota maps.
+func (f *FTL) chipKey(id controller.ChipID) uint64 {
+	return uint64(id.Channel*f.ways + id.Way)
+}
+
+// ras returns the RAS counters (non-nil only when an injector with RAS
+// accounting is attached). Fault-handling paths only run after a draw
+// fired, which requires a live injector, so they may use it directly.
+func (f *FTL) ras() *stats.RAS { return f.faults.RAS() }
+
+// RetiredBlocks counts blocks permanently removed from service.
+func (f *FTL) RetiredBlocks() int {
+	n := 0
+	for _, ps := range f.planes {
+		for b := range ps.blocks {
+			if ps.blocks[b].bad {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // NumLPNs returns the exported logical capacity in pages.
 func (f *FTL) NumLPNs() int64 { return f.numLPNs }
@@ -268,7 +299,10 @@ func (f *FTL) Install(lpn int64, tok flash.Token) {
 		panic("ftl: Install with no space")
 	}
 	ps := f.planeAt(s.chip, s.plane)
-	block, page := ps.allocate()
+	block, page, err := ps.allocate()
+	if err != nil {
+		panic(fmt.Sprintf("ftl: Install allocation failed: %v", err))
+	}
 	addr := flash.PPA{Plane: s.plane, Block: block, Page: page}
 	f.fab.Grid().Chip(s.chip).InstallPage(addr, tok)
 	phys := physIndex(f.geo, f.ways, s.chip, addr)
@@ -294,7 +328,10 @@ func (f *FTL) Reinstall(lpn int64, tok flash.Token) {
 	}
 	f.invalidatePhys(old)
 	ps := f.planeAt(s.chip, s.plane)
-	block, page := ps.allocate()
+	block, page, err := ps.allocate()
+	if err != nil {
+		panic(fmt.Sprintf("ftl: Reinstall allocation failed: %v", err))
+	}
 	addr := flash.PPA{Plane: s.plane, Block: block, Page: page}
 	f.fab.Grid().Chip(s.chip).InstallPage(addr, tok)
 	phys := physIndex(f.geo, f.ways, s.chip, addr)
@@ -309,9 +346,10 @@ type chipBatch struct {
 	id   controller.ChipID
 	ppas []flash.PPA
 	toks []flash.Token
+	lpns []int64 // parallel to ppas on write batches; nil on reads
 }
 
-func batchByChip(locs []controller.ChipID, addrs []flash.PPA, toks []flash.Token) []chipBatch {
+func batchByChip(locs []controller.ChipID, addrs []flash.PPA, toks []flash.Token, lpns []int64) []chipBatch {
 	var batches []chipBatch
 	open := make(map[controller.ChipID]int) // chip -> open batch index
 	for i := range locs {
@@ -331,12 +369,18 @@ func batchByChip(locs []controller.ChipID, addrs []flash.PPA, toks []flash.Token
 				if toks != nil {
 					b.toks = append(b.toks, toks[i])
 				}
+				if lpns != nil {
+					b.lpns = append(b.lpns, lpns[i])
+				}
 				continue
 			}
 		}
 		nb := chipBatch{id: id, ppas: []flash.PPA{addrs[i]}}
 		if toks != nil {
 			nb.toks = []flash.Token{toks[i]}
+		}
+		if lpns != nil {
+			nb.lpns = []int64{lpns[i]}
 		}
 		batches = append(batches, nb)
 		open[id] = len(batches) - 1
@@ -389,7 +433,7 @@ func (f *FTL) issueRead(lpns []int64, done func()) {
 		}
 		locs[i], addrs[i] = id, addr
 	}
-	batches := batchByChip(locs, addrs, nil)
+	batches := batchByChip(locs, addrs, nil, nil)
 	remaining := len(batches)
 	for _, b := range batches {
 		b := b
@@ -479,7 +523,12 @@ func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
 			break
 		}
 		ps := f.planeAt(s.chip, s.plane)
-		block, page := ps.allocate()
+		block, page, err := ps.allocate()
+		if err != nil {
+			// Recoverable shortfall (a fault retired the block between the
+			// filter's space check and here): stall like any other.
+			break
+		}
 		targets = append(targets, pendingTarget{s: s, block: block, page: page})
 	}
 	if len(targets) < len(lpns) {
@@ -536,7 +585,7 @@ func (f *FTL) commitWrite(lpns []int64, toks []flash.Token, targets []pendingTar
 		f.inflightWrites[lpn]++
 		locs[i], addrs[i] = tgt.s.chip, addr
 	}
-	batches := batchByChip(locs, addrs, toks)
+	batches := batchByChip(locs, addrs, toks, lpns)
 	remaining := len(batches)
 	lpnsCopy := append([]int64(nil), lpns...)
 	for _, b := range batches {
@@ -549,24 +598,110 @@ func (f *FTL) commitWrite(lpns []int64, toks []flash.Token, targets []pendingTar
 			for _, a := range b.ppas {
 				f.planeAt(b.id, a.Plane).blocks[a.Block].inflight--
 			}
+			// Firmware reads the NAND status register after tPROG: a failed
+			// program retires the block and remaps the write. The remap
+			// holds its own in-flight reference, so reads of the remapped
+			// LPN keep waiting even after this batch releases below.
+			if f.faults != nil {
+				f.handleProgramFaults(b)
+			}
 			remaining--
 			if remaining == 0 {
 				for _, lpn := range lpnsCopy {
-					f.inflightWrites[lpn]--
-					if f.inflightWrites[lpn] == 0 {
-						delete(f.inflightWrites, lpn)
-						waiters := f.writeWaiters[lpn]
-						delete(f.writeWaiters, lpn)
-						for _, w := range waiters {
-							w()
-						}
-					}
+					f.releaseInflight(lpn)
 				}
 				if done != nil {
 					done()
 				}
 			}
 		})
+	}
+}
+
+// holdInflight adds an in-flight write reference for an LPN, keeping
+// reads of it parked.
+func (f *FTL) holdInflight(lpn int64) { f.inflightWrites[lpn]++ }
+
+// releaseInflight drops one in-flight reference; the last release wakes
+// reads that were waiting on the LPN.
+func (f *FTL) releaseInflight(lpn int64) {
+	f.inflightWrites[lpn]--
+	if f.inflightWrites[lpn] < 0 {
+		panic(fmt.Sprintf("ftl: negative inflight count for LPN %d", lpn))
+	}
+	if f.inflightWrites[lpn] == 0 {
+		delete(f.inflightWrites, lpn)
+		waiters := f.writeWaiters[lpn]
+		delete(f.writeWaiters, lpn)
+		for _, w := range waiters {
+			w()
+		}
+	}
+}
+
+// handleProgramFaults draws the program-fail outcome for every page of a
+// completed write batch. A failed page retires its block; if the page
+// still backs its LPN the mapping is undone and the write reissued to a
+// fresh block — the bad-block remap path. The stale token left in the
+// failed page is harmless: the mapping no longer points there and the
+// block never returns to service.
+func (f *FTL) handleProgramFaults(b chipBatch) {
+	key := f.chipKey(b.id)
+	for i, a := range b.ppas {
+		if !f.faults.DrawFor(fault.ProgramFail, key) {
+			continue
+		}
+		f.ras().ProgramFails++
+		f.retireBlock(b.id, a.Plane, a.Block)
+		phys := physIndex(f.geo, f.ways, b.id, a)
+		lpn := b.lpns[i]
+		if f.p2l[phys] != lpn || f.l2p[lpn] != phys {
+			// Superseded mid-flight by a host overwrite: the failed page
+			// held no current data, retirement alone suffices.
+			continue
+		}
+		f.ras().WriteRemaps++
+		f.invalidatePhys(phys)
+		f.l2p[lpn] = unmapped
+		// Hold the in-flight reference across the reissue so a read of
+		// this LPN cannot observe the unmapped window (or a stalled
+		// reissue) and panic on an unmapped read.
+		f.holdInflight(lpn)
+		f.tryWrite([]int64{lpn}, []flash.Token{b.toks[i]}, func() { f.releaseInflight(lpn) })
+	}
+}
+
+// retireBlock permanently removes a block from service after a program
+// or erase failure: it is closed if open, pulled from the free pool, and
+// marked bad so no allocator ever hands it out again. Valid pages remain
+// readable; GC migrates them off before the block reaches its terminal
+// BlockRetired state.
+func (f *FTL) retireBlock(id controller.ChipID, plane, block int) {
+	ps := f.planeAt(id, plane)
+	bi := &ps.blocks[block]
+	if bi.bad {
+		return
+	}
+	bi.bad = true
+	if ps.active == block {
+		ps.active = -1
+	}
+	if ps.gcActive == block {
+		ps.gcActive = -1
+	}
+	for i, fb := range ps.free {
+		if fb == block {
+			ps.free = append(ps.free[:i], ps.free[i+1:]...)
+			break
+		}
+	}
+	// An open block closes as Full so GC can still select it and migrate
+	// its remaining valid pages.
+	if bi.state == BlockActive || bi.state == BlockFree {
+		bi.state = BlockFull
+	}
+	if r := f.ras(); r != nil {
+		r.RecordRetirement(f.chipKey(id))
 	}
 }
 
@@ -613,6 +748,19 @@ func (f *FTL) CheckConsistency() error {
 			want := validByBlock[int64(pi)*int64(f.geo.BlocksPerPlane)+int64(b)]
 			if ps.blocks[b].validCount != want {
 				return fmt.Errorf("ftl: plane %d block %d validCount=%d, mapped=%d", pi, b, ps.blocks[b].validCount, want)
+			}
+			if ps.blocks[b].bad {
+				if ps.active == b || ps.gcActive == b {
+					return fmt.Errorf("ftl: plane %d retired block %d is an open allocation target", pi, b)
+				}
+				for _, fb := range ps.free {
+					if fb == b {
+						return fmt.Errorf("ftl: plane %d retired block %d in free pool", pi, b)
+					}
+				}
+				if ps.blocks[b].state == BlockFree {
+					return fmt.Errorf("ftl: plane %d retired block %d marked free", pi, b)
+				}
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/controller"
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/sim"
 )
@@ -278,6 +279,18 @@ func (f *FTL) copyOnePage(v victim, page int, done func()) {
 	f.stats.GCPagesCopied++
 	f.fab.Copy(v.id, from, dstChip, dstAddr, func() {
 		dstPS.blocks[dstAddr.Block].inflight--
+		if f.faults.DrawFor(fault.ProgramFail, f.chipKey(dstChip)) {
+			// The commit program at the destination failed its status
+			// check: retire the destination block and retry the copy to a
+			// fresh one. The source mapping never moved, so the page is
+			// still intact on the victim.
+			r := f.ras()
+			r.ProgramFails++
+			r.GCCopyRetries++
+			f.retireBlock(dstChip, dstAddr.Plane, dstAddr.Block)
+			f.copyOnePage(v, page, done)
+			return
+		}
 		if f.p2l[oldPhys] == lpn && f.l2p[lpn] == oldPhys {
 			// Still current: move the mapping.
 			if debugGC2 && f.p2l[newPhys] != unmapped {
@@ -312,7 +325,13 @@ func (f *FTL) allocGCDestination(v victim) (controller.ChipID, flash.PPA, bool) 
 			return controller.ChipID{}, flash.PPA{}, false
 		}
 		ps := f.planeAt(s.chip, s.plane)
-		block, page := ps.allocateGC()
+		block, page, err := ps.allocateGC()
+		if err != nil {
+			// Recoverable: a fault retired the last free block between the
+			// hasGCSpace check and the allocation. The caller retries once
+			// pending erases free space.
+			return controller.ChipID{}, flash.PPA{}, false
+		}
 		return s.chip, flash.PPA{Plane: s.plane, Block: block, Page: page}, true
 	}
 	if f.cfg.GCMode == GCSpatial {
@@ -335,13 +354,34 @@ func (f *FTL) allocGCDestination(v victim) (controller.ChipID, flash.PPA, bool) 
 func (f *FTL) eraseVictim(v victim, done func()) {
 	ps := f.planeAt(v.id, v.plane)
 	if ps.blocks[v.block].validCount != 0 {
+		// True invariant: collectVictim migrated every valid page before
+		// calling here; a nonzero count is an accounting bug, not a fault.
 		panic(fmt.Sprintf("ftl: erasing block with %d valid pages", ps.blocks[v.block].validCount))
 	}
 	if ps.blocks[v.block].readRefs > 0 {
 		f.eng.Schedule(20*sim.Microsecond, func() { f.eraseVictim(v, done) })
 		return
 	}
+	if ps.blocks[v.block].bad {
+		// A block retired by an earlier program failure: its valid pages
+		// are now migrated, so it leaves service for good — no erase, no
+		// return to the free pool.
+		ps.blocks[v.block].state = BlockRetired
+		f.retryStalled()
+		done()
+		return
+	}
 	f.fab.Erase(v.id, []flash.PPA{{Plane: v.plane, Block: v.block}}, func() {
+		if f.faults.DrawFor(fault.EraseFail, f.chipKey(v.id)) {
+			// Erase status failed: the block retires instead of rejoining
+			// the free pool.
+			f.ras().EraseFails++
+			f.retireBlock(v.id, v.plane, v.block)
+			ps.blocks[v.block].state = BlockRetired
+			f.retryStalled()
+			done()
+			return
+		}
 		ps.blocks[v.block].state = BlockFree
 		ps.free = append(ps.free, v.block)
 		f.stats.GCBlocksErased++

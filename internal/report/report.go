@@ -5,6 +5,8 @@ package report
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Table is a titled grid of cells.
@@ -120,4 +122,24 @@ func Heat(row []float64) string {
 		b.WriteRune(shades[idx])
 	}
 	return b.String()
+}
+
+// RASTable renders the reliability counters of one run as a two-column
+// table, skipping classes that never fired so healthy runs stay terse.
+func RASTable(title string, r *stats.RAS) *Table {
+	t := New(title, "counter", "value")
+	if r == nil {
+		t.Add("fault injection", "off")
+		return t
+	}
+	for _, row := range r.Rows() {
+		if row[1] == "0" || row[1] == "(empty)" {
+			continue
+		}
+		t.Add(row[0], row[1])
+	}
+	if len(t.Rows) == 0 {
+		t.Add("faults", "none fired")
+	}
+	return t
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/controller"
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/host"
@@ -88,6 +89,10 @@ type Config struct {
 	// LogicalUtilization is the fraction of raw capacity exported as LPNs
 	// (the rest is over-provisioning).
 	LogicalUtilization float64
+	// Fault, when non-nil, enables deterministic fault injection: one
+	// shared injector is threaded through every chip, the FTL, and (on
+	// Omnibus architectures) the fabric control plane.
+	Fault *fault.Config
 }
 
 // DefaultConfig returns the paper's Table II parameters: 8 channels, 8
@@ -125,6 +130,18 @@ func (c Config) Validate() {
 	if c.LogicalUtilization <= 0 || c.LogicalUtilization >= 1 {
 		panic("ssd: LogicalUtilization must be in (0,1)")
 	}
+	if c.Fault != nil {
+		c.Fault.Validate()
+		numV := c.Channels
+		if c.Ways < numV {
+			numV = c.Ways
+		}
+		for _, v := range c.Fault.DeadVChannels {
+			if v >= numV {
+				panic(fmt.Sprintf("ssd: dead v-channel %d outside [0,%d)", v, numV))
+			}
+		}
+	}
 }
 
 // RawPages returns the device's physical page count.
@@ -151,6 +168,30 @@ type SSD struct {
 	Fabric controller.Fabric
 	FTL    *ftl.FTL
 	Host   *host.Host
+	// Faults is the shared injector, nil unless Config.Fault was set.
+	Faults *fault.Injector
+}
+
+// RAS returns the run's RAS counters, or nil when fault injection is off.
+func (s *SSD) RAS() *stats.RAS { return s.Faults.RAS() }
+
+// wireFaults builds the injector from cfg.Fault (nil when absent) and
+// attaches it to every chip, the FTL, and an Omnibus fabric's control
+// plane. Bus and mesh fabrics have no v-channels or grant exchange, so
+// for them only the flash- and FTL-level classes apply.
+func wireFaults(cfg Config, grid *controller.Grid, fab controller.Fabric, f *ftl.FTL) *fault.Injector {
+	if cfg.Fault == nil {
+		return nil
+	}
+	inj := fault.New(*cfg.Fault)
+	grid.ForEach(func(id controller.ChipID, c *flash.Chip) {
+		c.SetFaults(inj, uint64(id.Channel*cfg.Ways+id.Way))
+	})
+	f.SetFaults(inj)
+	if ob, ok := fab.(*controller.OmnibusFabric); ok {
+		ob.SetFaultInjector(inj)
+	}
+	return inj
 }
 
 // New builds an SSD of the given architecture. The SoC and NVMe
@@ -175,7 +216,8 @@ func New(arch Arch, cfg Config) *SSD {
 	fab := makeFabric(arch, eng, grid, soc, cfg)
 	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h}
+	inj := wireFaults(cfg, grid, fab, f)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -191,7 +233,8 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	fab := mk(eng, grid, soc, cfg.Geometry.PageSize)
 	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h}
+	inj := wireFaults(cfg, grid, fab, f)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {

@@ -6,15 +6,22 @@
 //	go run ./cmd/experiments -fig 14
 //	go run ./cmd/experiments -table 2
 //	go run ./cmd/experiments -quick
+//	go run ./cmd/experiments -quick -trace out.json -metrics-json run.json
+//
+// -trace / -metrics-json switch to a single instrumented GC-heavy run
+// (pnSSD+split with SpGC) and write the Chrome trace-event JSON and the
+// machine-readable run summary instead of the evaluation tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/exp"
+	"repro/internal/ftl"
 	"repro/internal/report"
 	"repro/internal/ssd"
 )
@@ -28,6 +35,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "workload seed")
 	reqs := flag.Int("requests", 0, "override trace request count")
+	traceOut := flag.String("trace", "", "run one instrumented GC-heavy run and write a Chrome trace-event JSON to this file")
+	metricsOut := flag.String("metrics-json", "", "run one instrumented GC-heavy run and write the run-summary JSON to this file")
 	flag.Parse()
 
 	opt := exp.Options{Seed: *seed}
@@ -37,6 +46,11 @@ func main() {
 	}
 	if *reqs > 0 {
 		opt.TraceRequests = *reqs
+	}
+
+	if *traceOut != "" || *metricsOut != "" {
+		runTraced(opt, *traceOut, *metricsOut)
+		return
 	}
 
 	emit := func(t *report.Table) {
@@ -96,6 +110,46 @@ func main() {
 		for _, name := range order {
 			runners[name](opt, emit)
 		}
+	}
+}
+
+// runTraced performs one instrumented GC-heavy run (pnSSD+split, SpGC,
+// rocksdb-0) and writes the requested trace/summary files. Either path
+// may be empty.
+func runTraced(opt exp.Options, traceOut, metricsOut string) {
+	open := func(path string) *os.File {
+		if path == "" {
+			return nil
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return fh
+	}
+	tw, mw := open(traceOut), open(metricsOut)
+	var traceW, metricsW io.Writer
+	if tw != nil {
+		traceW = tw
+	}
+	if mw != nil {
+		metricsW = mw
+	}
+	m, err := exp.TracedRun(opt, ssd.ArchPnSSDSplit, ftl.GCSpatial, "rocksdb-0", traceW, metricsW)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traced run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced run: pnssd+split / spgc / rocksdb-0, %d requests, mean latency %v\n",
+		m.TotalRequests(), m.MeanLatency())
+	if tw != nil {
+		tw.Close()
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", traceOut)
+	}
+	if mw != nil {
+		mw.Close()
+		fmt.Printf("metrics: %s\n", metricsOut)
 	}
 }
 

@@ -1,10 +1,13 @@
 // Command pssdsim runs one SSD simulation: pick an architecture, a
-// workload (named trace preset, trace CSV file, or synthetic pattern), a
-// GC mode, and get the latency/throughput report.
+// workload (named preset, trace CSV file, or synthetic pattern), a GC
+// mode, and get the latency/throughput report. -trace writes a Chrome
+// trace-event JSON (open in Perfetto) and -metrics-json a machine-
+// readable run summary.
 //
-//	go run ./cmd/pssdsim -arch pnssd+split -trace rocksdb-0 -gc spgc
+//	go run ./cmd/pssdsim -arch pnssd+split -preset rocksdb-0 -gc spgc
 //	go run ./cmd/pssdsim -arch pssd -synthetic rand-read -outstanding 32
 //	go run ./cmd/pssdsim -arch base -tracefile mytrace.csv
+//	go run ./cmd/pssdsim -arch pnssd+split -gc spgc -trace out.json -metrics-json run.json
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -39,8 +43,10 @@ var gcNames = map[string]ftl.GCMode{
 
 func main() {
 	archFlag := flag.String("arch", "pnssd+split", "architecture: base, nossd-pin, nossd-free, pssd, pnssd, pnssd+split")
-	traceFlag := flag.String("trace", "", "named trace preset (see -list)")
+	preset := flag.String("preset", "", "named workload preset (see -list)")
 	traceFile := flag.String("tracefile", "", "replay a trace CSV (arrival_ps,op,lpn,pages)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file (open in Perfetto)")
+	metricsOut := flag.String("metrics-json", "", "write the machine-readable run summary JSON to this file")
 	synth := flag.String("synthetic", "", "closed-loop pattern: seq-read, seq-write, rand-read, rand-write")
 	outstanding := flag.Int("outstanding", 16, "outstanding I/Os for synthetic runs")
 	requests := flag.Int("requests", 2000, "request count")
@@ -84,6 +90,9 @@ func main() {
 	if gc != ftl.GCNone {
 		cfg.LogicalUtilization = 0.75
 	}
+	if *traceOut != "" || *metricsOut != "" {
+		cfg.Trace = &trace.Config{}
+	}
 
 	s := ssd.New(arch, cfg)
 	foot := s.Config.LogicalPages()
@@ -125,7 +134,7 @@ func main() {
 		fmt.Printf("workload: trace file %s, %d requests\n", *traceFile, len(tr.Requests))
 		s.Host.Replay(tr.Requests)
 	default:
-		name := *traceFlag
+		name := *preset
 		if name == "" {
 			name = "rocksdb-0"
 		}
@@ -141,6 +150,29 @@ func main() {
 
 	end := s.Run()
 	printReport(s, end)
+
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("create trace file: %v", err)
+		}
+		if err := s.Tracer.ExportChrome(fh); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		fh.Close()
+		fmt.Printf("trace: %d events -> %s (open in https://ui.perfetto.dev)\n", s.Tracer.Events(), *traceOut)
+	}
+	if *metricsOut != "" {
+		fh, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("create metrics file: %v", err)
+		}
+		if err := s.WriteSummaryJSON(fh); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+		fh.Close()
+		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
 }
 
 func printReport(s *ssd.SSD, end sim.Time) {
@@ -164,10 +196,36 @@ func printReport(s *ssd.SSD, end sim.Time) {
 	t.Add("sysbus busy", s.Soc.SysBusBusy().String())
 	t.Add("dram busy", s.Soc.DramBusy().String())
 	fmt.Println(t.String())
+	printHeatmap(s, end)
 	if err := s.FTL.CheckConsistency(); err != nil {
 		fatalf("FTL consistency check failed: %v", err)
 	}
 	fmt.Println("FTL mapping consistency: OK")
+}
+
+// printHeatmap renders the per-bus utilization timelines as a shade-rune
+// heat table (the textual Fig 3), one row per h- and v-channel. It needs
+// the trace recorder's fixed-window timelines, so it renders only when
+// tracing is enabled.
+func printHeatmap(s *ssd.SSD, end sim.Time) {
+	if !s.Tracer.Enabled() {
+		return
+	}
+	t := report.New(fmt.Sprintf("Bus utilization (%v windows)", s.Tracer.Window()), "bus", "busy", "timeline")
+	for _, kind := range []string{trace.KindHChannel, trace.KindVChannel} {
+		names, rows := s.Tracer.HeatRows(kind, end)
+		for i, name := range names {
+			busy := s.Tracer.BusyTotals(kind)[name]
+			frac := 0.0
+			if end > 0 {
+				frac = float64(busy) / float64(end)
+			}
+			t.Add(name, report.Pct(frac), report.Heat(rows[i]))
+		}
+	}
+	if len(t.Rows) > 0 {
+		fmt.Println(t.String())
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

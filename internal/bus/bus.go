@@ -75,9 +75,16 @@ func (c *Channel) TimeForBytes(n int) sim.Time { return c.TimeForFlits(n) }
 // Use occupies the channel for d, then runs done. Requests queue FIFO.
 func (c *Channel) Use(d sim.Time, done func()) { c.res.Use(d, done) }
 
+// UseOp is Use with an operation label ("read-xfer", "gc-copy", ...)
+// naming the hold for trace observers. Labels must be constant strings.
+func (c *Channel) UseOp(label string, d sim.Time, done func()) { c.res.UseLabeled(label, d, done) }
+
 // Acquire and Release expose raw resource holds for multi-phase
 // transactions that must keep the bus across phases.
 func (c *Channel) Acquire(fn func()) { c.res.Acquire(fn) }
+
+// AcquireOp is Acquire with an operation label for trace observers.
+func (c *Channel) AcquireOp(label string, fn func()) { c.res.AcquireLabeled(label, fn) }
 
 // TryAcquire acquires only if the channel is idle with no waiters.
 func (c *Channel) TryAcquire(fn func()) bool { return c.res.TryAcquire(fn) }
@@ -103,6 +110,10 @@ func (c *Channel) Load() int {
 
 // SetUtilRecorder attaches a windowed utilization recorder (Fig 3).
 func (c *Channel) SetUtilRecorder(u *sim.UtilRecorder) { c.res.SetUtilRecorder(u) }
+
+// SetObserver attaches a hold/queue observer to the underlying resource
+// (the tracing hook); nil detaches.
+func (c *Channel) SetObserver(o sim.ResourceObserver) { c.res.SetObserver(o) }
 
 // TotalBusy returns cumulative occupancy.
 func (c *Channel) TotalBusy() sim.Time { return c.res.TotalBusy() }

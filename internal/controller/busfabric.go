@@ -75,9 +75,9 @@ func (f *BusFabric) Read(id ChipID, ppas []flash.PPA, done func()) {
 	ifc := f.iface[id.Channel]
 	chip := f.grid.Chip(id)
 	n := totalBytes(f.pageSize, len(ppas))
-	ch.Use(ifc.ReadCmd(), func() {
+	ch.UseOp("read-cmd", ifc.ReadCmd(), func() {
 		chip.Read(ppas, func() {
-			ch.Use(ifc.ReadXfer(n), func() {
+			ch.UseOp("read-xfer", ifc.ReadXfer(n), func() {
 				f.eng.Schedule(EccLatency, func() {
 					f.soc.Transfer(n, done)
 				})
@@ -95,7 +95,7 @@ func (f *BusFabric) Write(id ChipID, ops []flash.ProgramOp, done func()) {
 	n := totalBytes(f.pageSize, len(ops))
 	f.soc.Transfer(n, func() {
 		f.eng.Schedule(EccLatency, func() {
-			ch.Use(ifc.ProgramXfer(n), func() {
+			ch.UseOp("program-xfer", ifc.ProgramXfer(n), func() {
 				chip.Program(ops, done)
 			})
 		})
@@ -107,7 +107,7 @@ func (f *BusFabric) Erase(id ChipID, blocks []flash.PPA, done func()) {
 	ch := f.chans[id.Channel]
 	ifc := f.iface[id.Channel]
 	chip := f.grid.Chip(id)
-	ch.Use(ifc.EraseCmd(), func() {
+	ch.UseOp("erase-cmd", ifc.EraseCmd(), func() {
 		chip.Erase(blocks, done)
 	})
 }
@@ -121,10 +121,10 @@ func (f *BusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PPA, d
 	srcIfc := f.iface[src.Channel]
 	srcChip := f.grid.Chip(src)
 	n := f.pageSize
-	srcCh.Use(srcIfc.ReadCmd(), func() {
+	srcCh.UseOp("gc-read-cmd", srcIfc.ReadCmd(), func() {
 		srcChip.Read([]flash.PPA{from}, func() {
 			token := srcChip.PageRegister(from.Plane)
-			srcCh.Use(srcIfc.ReadXfer(n), func() {
+			srcCh.UseOp("gc-read-xfer", srcIfc.ReadXfer(n), func() {
 				f.eng.Schedule(EccLatency, func() {
 					f.soc.Transfer(n, func() {
 						f.Write(dst, []flash.ProgramOp{{Addr: to, Token: token}}, done)

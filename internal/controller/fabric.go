@@ -130,9 +130,16 @@ func (s *Soc) Transfer(n int, done func()) {
 	if n < 0 {
 		panic("controller: negative SoC transfer")
 	}
-	s.sysBus.Use(sim.Time(n)*s.sysBusPsByte, func() {
-		s.dram.Use(sim.Time(n)*s.dramPsByte, done)
+	s.sysBus.UseLabeled("xfer", sim.Time(n)*s.sysBusPsByte, func() {
+		s.dram.UseLabeled("xfer", sim.Time(n)*s.dramPsByte, done)
 	})
+}
+
+// SetObserver attaches a hold/queue observer to the system bus and DRAM
+// resources (the tracing hook); nil detaches.
+func (s *Soc) SetObserver(o sim.ResourceObserver) {
+	s.sysBus.SetObserver(o)
+	s.dram.SetObserver(o)
 }
 
 // CtrlMsg delivers a control-plane message between two channel

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // OmnibusFabric is the pnSSD interconnect (Fig 9(c)): the packetized
@@ -52,6 +53,10 @@ type OmnibusFabric struct {
 	eccFallbacks int64
 
 	vpageRetry sim.Time
+
+	// trc records logical spans (grant arbitration, copies) and routing
+	// instants; nil (the default) disables tracing with no overhead.
+	trc *trace.Recorder
 
 	// counters for reports and tests
 	hReturns, vReturns, splitReturns int64
@@ -169,6 +174,10 @@ func (f *OmnibusFabric) SetAdaptive(on bool) {
 	}
 }
 
+// SetTracer attaches a trace recorder for control-plane spans and
+// routing-decision instants; nil (the default) detaches.
+func (f *OmnibusFabric) SetTracer(t *trace.Recorder) { f.trc = t }
+
 // SetFaultInjector attaches the shared fault injector. Nil detaches it.
 func (f *OmnibusFabric) SetFaultInjector(inj *fault.Injector) { f.faults = inj }
 
@@ -238,7 +247,7 @@ func (f *OmnibusFabric) Read(id ChipID, ppas []flash.PPA, done func()) {
 	hifc := f.hIface[id.Channel]
 	chip := f.grid.Chip(id)
 	n := totalBytes(f.pageSize, len(ppas))
-	hch.Use(hifc.ReadCmd(), func() {
+	hch.UseOp("read-cmd", hifc.ReadCmd(), func() {
 		chip.Read(ppas, func() {
 			f.returnData(id, n, done)
 		})
@@ -261,7 +270,10 @@ func (f *OmnibusFabric) returnData(id ChipID, n int, done func()) {
 			r.DegradedReturns++
 		}
 		f.hReturns++
-		hch.Use(hifc.ReadXfer(n), finish)
+		if f.trc.Enabled() {
+			f.trc.Instant("route", "degraded-h", trace.KV{K: "chip", V: id.String()})
+		}
+		hch.UseOp("read-xfer", hifc.ReadXfer(n), finish)
 		return
 	}
 	if f.split && n > 1 && hch.Load() == 0 && vch.Load() == 0 {
@@ -272,6 +284,9 @@ func (f *OmnibusFabric) returnData(id ChipID, n int, done func()) {
 		// page behind that queue is worse than routing the whole page
 		// adaptively, so loaded cases fall through to the greedy path.
 		f.splitReturns++
+		if f.trc.Enabled() {
+			f.trc.Instant("route", "split-return", trace.KV{K: "chip", V: id.String()})
+		}
 		half1, half2 := n/2, n-n/2
 		remaining := 2
 		join := func() {
@@ -280,10 +295,10 @@ func (f *OmnibusFabric) returnData(id ChipID, n int, done func()) {
 				finish()
 			}
 		}
-		hch.Use(hifc.ReadXfer(half1), join)
+		hch.UseOp("read-xfer-half", hifc.ReadXfer(half1), join)
 		f.soc.CtrlMsg(func() {
 			f.soc.CtrlMsg(func() {
-				vch.Use(vifc.ReadXfer(half2), join)
+				vch.UseOp("read-xfer-half", vifc.ReadXfer(half2), join)
 			})
 		})
 		return
@@ -295,15 +310,18 @@ func (f *OmnibusFabric) returnData(id ChipID, n int, done func()) {
 	// unused capacity.
 	if f.routeToV(hch, vch) {
 		f.vReturns++
+		if f.trc.Enabled() {
+			f.trc.Instant("route", "v-return", trace.KV{K: "chip", V: id.String()})
+		}
 		f.soc.CtrlMsg(func() {
 			f.soc.CtrlMsg(func() {
-				vch.Use(vifc.ReadXfer(n), finish)
+				vch.UseOp("read-xfer", vifc.ReadXfer(n), finish)
 			})
 		})
 		return
 	}
 	f.hReturns++
-	hch.Use(hifc.ReadXfer(n), finish)
+	hch.UseOp("read-xfer", hifc.ReadXfer(n), finish)
 }
 
 // Write implements Fabric. Payload delivery mirrors the read return path:
@@ -322,7 +340,7 @@ func (f *OmnibusFabric) Write(id ChipID, ops []flash.ProgramOp, done func()) {
 				if r := f.faults.RAS(); r != nil {
 					r.DegradedReturns++
 				}
-				hch.Use(hifc.ProgramXfer(n), program)
+				hch.UseOp("program-xfer", hifc.ProgramXfer(n), program)
 				return
 			}
 			// Split applies to read returns only. Splitting program
@@ -341,10 +359,10 @@ func (f *OmnibusFabric) Write(id ChipID, ops []flash.ProgramOp, done func()) {
 						program()
 					}
 				}
-				hch.Use(hifc.ProgramXfer(half1), join)
+				hch.UseOp("program-xfer-half", hifc.ProgramXfer(half1), join)
 				f.soc.CtrlMsg(func() {
 					f.soc.CtrlMsg(func() {
-						vch.Use(vifc.ProgramXfer(half2), join)
+						vch.UseOp("program-xfer-half", vifc.ProgramXfer(half2), join)
 					})
 				})
 				return
@@ -352,12 +370,12 @@ func (f *OmnibusFabric) Write(id ChipID, ops []flash.ProgramOp, done func()) {
 			if f.routeToV(hch, vch) {
 				f.soc.CtrlMsg(func() {
 					f.soc.CtrlMsg(func() {
-						vch.Use(vifc.ProgramXfer(n), program)
+						vch.UseOp("program-xfer", vifc.ProgramXfer(n), program)
 					})
 				})
 				return
 			}
-			hch.Use(hifc.ProgramXfer(n), program)
+			hch.UseOp("program-xfer", hifc.ProgramXfer(n), program)
 		})
 	})
 }
@@ -367,7 +385,7 @@ func (f *OmnibusFabric) Erase(id ChipID, blocks []flash.PPA, done func()) {
 	ch := f.h[id.Channel]
 	ifc := f.hIface[id.Channel]
 	chip := f.grid.Chip(id)
-	ch.Use(ifc.EraseCmd(), func() {
+	ch.UseOp("erase-cmd", ifc.EraseCmd(), func() {
 		chip.Erase(blocks, done)
 	})
 }
@@ -422,6 +440,11 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 	// re-requests, and when the retry budget is exhausted it fails over
 	// to the controller-relayed path — a grant is never awaited forever.
 	attempts := 0
+	var grantSpan trace.SpanID
+	if f.trc.Enabled() {
+		grantSpan = f.trc.BeginSpan("gc", "grant-wait",
+			trace.KV{K: "src", V: src.String()}, trace.KV{K: "dst", V: dst.String()})
+	}
 	var arbitrate func()
 	arbitrate = func() {
 		f.soc.CtrlMsg(func() { // request: source ctrl -> v-channel owner
@@ -433,6 +456,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 				if attempts > cfg.GrantRetryMax {
 					ras.CopyFailovers++
 					f.relayedCopies++
+					f.trc.EndSpan(grantSpan)
 					f.relayCopy(src, from, dst, to, done)
 					return
 				}
@@ -448,7 +472,19 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 				}
 				f.soc.CtrlMsg(func() { // grant back to source ctrl
 					f.directCopies++
-					f.directTransfer(vch, vifc, srcChip, from, dstChip, reg, to, done)
+					f.trc.EndSpan(grantSpan)
+					fin := done
+					if f.trc.Enabled() {
+						sp := f.trc.BeginSpan("gc", "direct-copy",
+							trace.KV{K: "src", V: src.String()}, trace.KV{K: "dst", V: dst.String()})
+						fin = func() {
+							f.trc.EndSpan(sp)
+							if done != nil {
+								done()
+							}
+						}
+					}
+					f.directTransfer(vch, vifc, srcChip, from, dstChip, reg, to, fin)
 				})
 			})
 		})
@@ -460,10 +496,10 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 // source, one v-channel crossing, on-die ECC, tPROG from the V-page
 // register on the destination.
 func (f *OmnibusFabric) directTransfer(vch *bus.Channel, vifc bus.Packetized, srcChip *flash.Chip, from flash.PPA, dstChip *flash.Chip, reg int, to flash.PPA, done func()) {
-	vch.Use(vifc.ReadCmd(), func() {
+	vch.UseOp("gc-read-cmd", vifc.ReadCmd(), func() {
 		srcChip.Read([]flash.PPA{from}, func() {
 			token := srcChip.PageRegister(from.Plane)
-			vch.Use(vifc.VXfer(f.pageSize), func() {
+			vch.UseOp("gc-vxfer", vifc.VXfer(f.pageSize), func() {
 				dstChip.SetVPage(reg, token)
 				f.eng.Schedule(OnDieEccLatency, func() {
 					dstChip.ProgramFromVPage(reg, to, done)
@@ -477,14 +513,25 @@ func (f *OmnibusFabric) directTransfer(vch *bus.Channel, vifc bus.Packetized, sr
 // h-channel into DRAM, then write out through the destination row's
 // h-channel — the Fig 10(a) route.
 func (f *OmnibusFabric) relayCopy(src ChipID, from flash.PPA, dst ChipID, to flash.PPA, done func()) {
+	if f.trc.Enabled() {
+		sp := f.trc.BeginSpan("gc", "relay-copy",
+			trace.KV{K: "src", V: src.String()}, trace.KV{K: "dst", V: dst.String()})
+		inner := done
+		done = func() {
+			f.trc.EndSpan(sp)
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	hch := f.h[src.Channel]
 	hifc := f.hIface[src.Channel]
 	srcChip := f.grid.Chip(src)
 	n := f.pageSize
-	hch.Use(hifc.ReadCmd(), func() {
+	hch.UseOp("gc-read-cmd", hifc.ReadCmd(), func() {
 		srcChip.Read([]flash.PPA{from}, func() {
 			token := srcChip.PageRegister(from.Plane)
-			hch.Use(hifc.ReadXfer(n), func() {
+			hch.UseOp("gc-read-xfer", hifc.ReadXfer(n), func() {
 				f.eng.Schedule(EccLatency, func() {
 					f.soc.Transfer(n, func() {
 						f.Write(dst, []flash.ProgramOp{{Addr: to, Token: token}}, done)

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"io"
+
+	"repro/internal/ftl"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TracedRun replays one named workload trace on a GC-configured device
+// with the tracing subsystem enabled, then writes the Chrome trace-event
+// JSON to traceW and the machine-readable run summary to summaryW (either
+// may be nil to skip that export). It returns the host metrics so callers
+// can cross-check the summary. This is the engine behind the -trace /
+// -metrics-json flags of cmd/experiments and the CI trace smoke step.
+func TracedRun(opt Options, arch ssd.Arch, mode ftl.GCMode, traceName string, traceW, summaryW io.Writer) (*stats.IOMetrics, error) {
+	opt = opt.withDefaults()
+	cfg := gcCfg(opt)
+	cfg.FTL.GCMode = mode
+	cfg.FTL.Policy = ftl.PCWD
+	cfg.Trace = &trace.Config{}
+	s := ssd.New(arch, cfg)
+	warm(s, opt.ChurnFraction, opt.Seed)
+	tr, err := workload.Named(traceName, s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.Host.Replay(tr.Requests)
+	s.Run()
+	if traceW != nil {
+		if err := s.Tracer.ExportChrome(traceW); err != nil {
+			return nil, err
+		}
+	}
+	if summaryW != nil {
+		if err := s.WriteSummaryJSON(summaryW); err != nil {
+			return nil, err
+		}
+	}
+	return s.Metrics(), nil
+}

@@ -186,6 +186,15 @@ func (c *Chip) SetFaults(inj *fault.Injector, key uint64) {
 	c.faultKey = key
 }
 
+// SetObserver attaches a hold/queue observer to the die resource (the
+// tracing hook); nil detaches. The die track carries one span per array
+// operation, labeled read/program/erase.
+func (c *Chip) SetObserver(o sim.ResourceObserver) { c.die.SetObserver(o) }
+
+// DieName returns the die resource's diagnostic name (the trace track
+// name for this chip's array operations).
+func (c *Chip) DieName() string { return c.die.Name() }
+
 // Busy reports whether the die is executing an array operation — the R/B_n
 // pin abstraction.
 func (c *Chip) Busy() bool { return c.die.Busy() }
@@ -246,7 +255,7 @@ func (c *Chip) Read(ppas []PPA, done func()) {
 		}
 	}
 	addrs := append([]PPA(nil), ppas...)
-	c.die.Acquire(func() {
+	c.die.AcquireLabeled("read", func() {
 		// The retry ladder extends the die-busy window: re-senses hold the
 		// array exactly like the first sense does on real NAND.
 		c.eng.Schedule(c.timing.Read+c.readFaultPenalty(len(addrs)), func() {
@@ -336,7 +345,7 @@ func (c *Chip) Program(ops []ProgramOp, done func()) {
 		c.nextPage[op.Addr.Plane][op.Addr.Block]++
 		c.state[op.Addr.Plane][c.pageIndex(op.Addr)] = PageProgrammed
 	}
-	c.die.Acquire(func() {
+	c.die.AcquireLabeled("program", func() {
 		c.eng.Schedule(c.timing.Program, func() {
 			for _, op := range writes {
 				c.content[op.Addr.Plane][c.pageIndex(op.Addr)] = op.Token
@@ -375,7 +384,7 @@ func (c *Chip) Erase(blocks []PPA, done func()) {
 	}
 	c.checkMultiPlane(blocks)
 	targets := append([]PPA(nil), blocks...)
-	c.die.Acquire(func() {
+	c.die.AcquireLabeled("erase", func() {
 		c.eng.Schedule(c.timing.Erase, func() {
 			for _, a := range targets {
 				base := a.Block * c.geo.PagesPerBlock

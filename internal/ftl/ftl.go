@@ -18,6 +18,7 @@ import (
 	"repro/internal/flash"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // GCMode selects the garbage collection engine.
@@ -147,6 +148,11 @@ type FTL struct {
 
 	// faults draws program/erase failure outcomes; nil means no injection.
 	faults *fault.Injector
+
+	// trc records GC-round and write-stall spans; nil (the default)
+	// disables tracing with no overhead.
+	trc    *trace.Recorder
+	gcSpan trace.SpanID
 }
 
 // New builds an FTL over the fabric. numLPNs is the exported logical
@@ -196,6 +202,10 @@ func (f *FTL) Stats() Stats { return f.stats }
 
 // SetFaults attaches the fault injector; nil disables injection.
 func (f *FTL) SetFaults(inj *fault.Injector) { f.faults = inj }
+
+// SetTracer attaches a trace recorder for GC-round and write-stall spans;
+// nil (the default) detaches.
+func (f *FTL) SetTracer(t *trace.Recorder) { f.trc = t }
 
 // chipKey identifies a chip in the injector's per-chip quota maps.
 func (f *FTL) chipKey(id controller.ChipID) uint64 {
@@ -541,8 +551,13 @@ func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
 			toks = toks[len(targets):]
 		}
 		lp, tk := lpns, toks
+		var stallSpan trace.SpanID
+		if f.trc.Enabled() {
+			stallSpan = f.trc.BeginSpan("ftl", "write-stall", trace.KV{K: "pages", V: len(lp)})
+		}
 		f.stalled = append(f.stalled, func() bool {
 			// retried later; returns true when issued
+			f.trc.EndSpan(stallSpan)
 			f.tryWrite(lp, tk, done)
 			return true
 		})

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // maybeTriggerGC starts a collection round when free space is below the
@@ -129,6 +130,11 @@ func (f *FTL) startGC(done func()) {
 	f.gcActive = true
 	f.stats.GCRounds++
 	started := f.eng.Now()
+	if f.trc.Enabled() {
+		f.gcSpan = f.trc.BeginSpan("gc", "gc-round",
+			trace.KV{K: "round", V: f.stats.GCRounds},
+			trace.KV{K: "mode", V: f.cfg.GCMode.String()})
+	}
 
 	perChip := f.cfg.VictimsPerChip
 	if f.cfg.GCMode == GCSpatial {
@@ -187,6 +193,12 @@ func (f *FTL) finishGC(started sim.Time, freeAtStart int, done func()) {
 	dur := f.eng.Now() - started
 	f.stats.GCTotalTime += dur
 	f.stats.GCLastTime = dur
+	if f.trc.Enabled() {
+		f.trc.EndSpan(f.gcSpan,
+			trace.KV{K: "pages_copied", V: f.stats.GCPagesCopied},
+			trace.KV{K: "blocks_erased", V: f.stats.GCBlocksErased})
+		f.gcSpan = trace.SpanID{}
+	}
 	if f.cfg.GCMode == GCSpatial {
 		f.gcGroupLo = !f.gcGroupLo
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Request is one host I/O at page granularity: Pages consecutive LPNs
@@ -39,6 +40,11 @@ type Host struct {
 	metrics  *stats.IOMetrics
 	versions map[int64]int64
 	inFlight int
+	reqSeq   int64
+
+	// trc records one async span per request lifecycle (arrival through
+	// completion); nil (the default) disables tracing with no overhead.
+	trc *trace.Recorder
 }
 
 // New builds a host. nvmeMBps is the host link bandwidth (Table II: PCIe
@@ -61,6 +67,16 @@ func New(eng *sim.Engine, f *ftl.FTL, pageSize, nvmeMBps int) *Host {
 
 // Metrics returns the recorder.
 func (h *Host) Metrics() *stats.IOMetrics { return h.metrics }
+
+// SetTracer attaches a trace recorder for request lifecycle spans; nil
+// (the default) detaches.
+func (h *Host) SetTracer(t *trace.Recorder) { h.trc = t }
+
+// SetObserver attaches a hold/queue observer to the NVMe link resource.
+func (h *Host) SetObserver(o sim.ResourceObserver) { h.nvme.SetObserver(o) }
+
+// NvmeName returns the NVMe link resource's trace track name.
+func (h *Host) NvmeName() string { return h.nvme.Name() }
 
 // FTL returns the bound translation layer.
 func (h *Host) FTL() *ftl.FTL { return h.f }
@@ -100,9 +116,18 @@ func (h *Host) Submit(r Request, done func()) {
 	h.inFlight++
 	lpns := h.lpnsOf(r)
 	bytes := int64(r.Pages) * int64(h.pageSize)
+	var span trace.SpanID
+	if h.trc.Enabled() {
+		h.reqSeq++
+		span = h.trc.BeginSpan("req", r.Kind.String(),
+			trace.KV{K: "seq", V: h.reqSeq},
+			trace.KV{K: "lpn", V: r.LPN},
+			trace.KV{K: "pages", V: r.Pages})
+	}
 	finish := func() {
 		h.inFlight--
 		h.metrics.Record(r.Kind, r.Arrival, h.eng.Now(), bytes)
+		h.trc.EndSpan(span)
 		if done != nil {
 			done()
 		}
@@ -112,7 +137,7 @@ func (h *Host) Submit(r Request, done func()) {
 	case stats.Read:
 		h.eng.Schedule(h.cmdLatency, func() {
 			h.f.Read(lpns, func() {
-				h.nvme.Use(xfer, finish)
+				h.nvme.UseLabeled("read-return", xfer, finish)
 			})
 		})
 	case stats.Write:
@@ -122,7 +147,7 @@ func (h *Host) Submit(r Request, done func()) {
 			toks[i] = ftl.TokenFor(lpn, h.versions[lpn])
 		}
 		h.eng.Schedule(h.cmdLatency, func() {
-			h.nvme.Use(xfer, func() {
+			h.nvme.UseLabeled("write-payload", xfer, func() {
 				h.f.Write(lpns, toks, finish)
 			})
 		})

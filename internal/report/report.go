@@ -68,8 +68,9 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (cells containing
-// commas or quotes are quoted).
+// CSV renders the table as comma-separated values. Per RFC 4180, cells
+// containing commas, quotes, or line breaks (LF or CR) are quoted, with
+// embedded quotes doubled.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -77,7 +78,7 @@ func (t *Table) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(c, ",\"\n") {
+			if strings.ContainsAny(c, ",\"\n\r") {
 				b.WriteByte('"')
 				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
 				b.WriteByte('"')

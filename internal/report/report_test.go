@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,42 @@ func TestCSVQuoting(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv, "name,note\n") {
 		t.Fatalf("CSV header wrong: %s", csv)
+	}
+}
+
+// TestCSVQuotesLineBreaks pins the RFC 4180 rule that cells containing any
+// line break — LF, CR, or CRLF — must be quoted, and that plain cells are
+// left bare. encoding/csv must round-trip the output unchanged.
+func TestCSVQuotesLineBreaks(t *testing.T) {
+	tb := New("", "name", "note")
+	tb.Add("lf", "two\nlines")
+	tb.Add("cr", "carriage\rreturn")
+	tb.Add("crlf", "windows\r\nbreak")
+	tb.Add("plain", "no special chars")
+	out := tb.CSV()
+	for _, want := range []string{"\"two\nlines\"", "\"carriage\rreturn\"", "\"windows\r\nbreak\""} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV lost line-break quoting, want %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "plain,no special chars\n") {
+		t.Fatalf("plain cell needlessly quoted:\n%s", out)
+	}
+	rd := csv.NewReader(strings.NewReader(out))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv cannot parse our output: %v\n%s", err, out)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("parsed %d records, want 5", len(recs))
+	}
+	if recs[1][1] != "two\nlines" {
+		t.Fatalf("LF cell round-tripped to %q", recs[1][1])
+	}
+	// encoding/csv normalizes \r\n inside quoted cells to \n (RFC 4180
+	// line-ending folding), so only check the CR made it in some form.
+	if !strings.Contains(recs[2][1], "carriage") || !strings.Contains(recs[3][1], "windows") {
+		t.Fatalf("CR cells mangled: %q %q", recs[2][1], recs[3][1])
 	}
 }
 

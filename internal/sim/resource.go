@@ -20,12 +20,33 @@ type Resource struct {
 	totalWait   Time
 	maxWait     Time
 	util        *UtilRecorder
+	obs         ResourceObserver
+	curLabel    string
+	curQueued   Time
+}
+
+// ResourceObserver receives passive notifications about a resource's
+// occupancy and queue, the hook the tracing subsystem attaches to. All
+// callbacks fire synchronously inside Acquire/Release; implementations
+// must only record — scheduling events or touching model state from an
+// observer would perturb the simulation it is observing.
+type ResourceObserver interface {
+	// ResourceHold reports one completed hold: the holder enqueued at
+	// queuedAt, was granted at grantedAt (equal to queuedAt for immediate
+	// grants), and released at releasedAt.
+	ResourceHold(r *Resource, label string, queuedAt, grantedAt, releasedAt Time)
+	// ResourceQueue reports the waiter-queue depth after it changed.
+	ResourceQueue(r *Resource, depth int, at Time)
 }
 
 type grantReq struct {
-	fn func()
-	at Time
+	fn    func()
+	at    Time
+	label string
 }
+
+// DefaultHoldLabel names holds acquired without an explicit label.
+const DefaultHoldLabel = "hold"
 
 // NewResource creates an idle resource attached to the engine. The name is
 // used only for diagnostics.
@@ -40,6 +61,11 @@ func (r *Resource) Name() string { return r.name }
 // interval is reported to it. A nil recorder detaches.
 func (r *Resource) SetUtilRecorder(u *UtilRecorder) { r.util = u }
 
+// SetObserver attaches a hold/queue observer; nil detaches. With no
+// observer attached the accounting paths are unchanged, so runs with
+// tracing disabled are bit-identical to runs before observers existed.
+func (r *Resource) SetObserver(o ResourceObserver) { r.obs = o }
+
 // Busy reports whether the resource is currently held.
 func (r *Resource) Busy() bool { return r.busy }
 
@@ -48,15 +74,23 @@ func (r *Resource) QueueLen() int { return len(r.waiters) }
 
 // Acquire requests the resource. When granted, fn runs as its own event; the
 // holder must eventually call Release.
-func (r *Resource) Acquire(fn func()) {
+func (r *Resource) Acquire(fn func()) { r.AcquireLabeled(DefaultHoldLabel, fn) }
+
+// AcquireLabeled is Acquire with a label naming the hold for observers
+// (e.g. "read-xfer" on a bus, "program" on a die). Labels should be
+// constant strings; they are carried by value and never retained.
+func (r *Resource) AcquireLabeled(label string, fn func()) {
 	if fn == nil {
 		panic("sim: nil acquire callback for " + r.name)
 	}
 	if !r.busy {
-		r.grant(fn)
+		r.grant(label, fn, r.eng.Now())
 		return
 	}
-	r.waiters = append(r.waiters, grantReq{fn: fn, at: r.eng.Now()})
+	r.waiters = append(r.waiters, grantReq{fn: fn, at: r.eng.Now(), label: label})
+	if r.obs != nil {
+		r.obs.ResourceQueue(r, len(r.waiters), r.eng.Now())
+	}
 }
 
 // TryAcquire acquires the resource only if it is idle and has no waiters,
@@ -65,13 +99,15 @@ func (r *Resource) TryAcquire(fn func()) bool {
 	if r.busy || len(r.waiters) > 0 {
 		return false
 	}
-	r.grant(fn)
+	r.grant(DefaultHoldLabel, fn, r.eng.Now())
 	return true
 }
 
-func (r *Resource) grant(fn func()) {
+func (r *Resource) grant(label string, fn func(), queuedAt Time) {
 	r.busy = true
 	r.busySince = r.eng.Now()
+	r.curLabel = label
+	r.curQueued = queuedAt
 	r.totalGrants++
 	r.eng.Schedule(0, fn)
 }
@@ -86,6 +122,9 @@ func (r *Resource) Release() {
 	if r.util != nil {
 		r.util.AddBusy(r.busySince, r.eng.Now())
 	}
+	if r.obs != nil {
+		r.obs.ResourceHold(r, r.curLabel, r.curQueued, r.busySince, r.eng.Now())
+	}
 	r.busy = false
 	if len(r.waiters) > 0 {
 		next := r.waiters[0]
@@ -96,18 +135,24 @@ func (r *Resource) Release() {
 		if wait > r.maxWait {
 			r.maxWait = wait
 		}
-		r.grant(next.fn)
+		if r.obs != nil {
+			r.obs.ResourceQueue(r, len(r.waiters), r.eng.Now())
+		}
+		r.grant(next.label, next.fn, next.at)
 	}
 }
 
 // Use acquires the resource, holds it for d, then releases it and runs done
 // (which may be nil). It is the common "occupy a bus for a serialization
 // time" helper.
-func (r *Resource) Use(d Time, done func()) {
+func (r *Resource) Use(d Time, done func()) { r.UseLabeled(DefaultHoldLabel, d, done) }
+
+// UseLabeled is Use with an observer label for the hold.
+func (r *Resource) UseLabeled(label string, d Time, done func()) {
 	if d < 0 {
 		panic("sim: negative hold duration for " + r.name)
 	}
-	r.Acquire(func() {
+	r.AcquireLabeled(label, func() {
 		r.eng.Schedule(d, func() {
 			r.Release()
 			if done != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Arch selects one of the evaluated SSD architectures (Table III).
@@ -93,6 +94,12 @@ type Config struct {
 	// shared injector is threaded through every chip, the FTL, and (on
 	// Omnibus architectures) the fabric control plane.
 	Fault *fault.Config
+	// Trace, when non-nil, enables the tracing subsystem: a recorder is
+	// attached to every bus channel, flash die, SoC resource, and the NVMe
+	// link, and the host/FTL/fabric layers emit lifecycle spans. Nil (the
+	// default) leaves every hook detached, so the simulation is
+	// bit-identical to a build without tracing.
+	Trace *trace.Config
 }
 
 // DefaultConfig returns the paper's Table II parameters: 8 channels, 8
@@ -170,6 +177,8 @@ type SSD struct {
 	Host   *host.Host
 	// Faults is the shared injector, nil unless Config.Fault was set.
 	Faults *fault.Injector
+	// Tracer is the trace recorder, nil unless Config.Trace was set.
+	Tracer *trace.Recorder
 }
 
 // RAS returns the run's RAS counters, or nil when fault injection is off.
@@ -192,6 +201,51 @@ func wireFaults(cfg Config, grid *controller.Grid, fab controller.Fabric, f *ftl
 		ob.SetFaultInjector(inj)
 	}
 	return inj
+}
+
+// wireTrace builds the recorder from cfg.Trace (nil when absent),
+// registers one track per h-channel, v-channel, chip die, SoC resource,
+// and the NVMe link — in that display order, so every bus appears in the
+// export even if idle — and attaches the observer and span hooks through
+// every layer. Mesh fabrics trace their chips, SoC, and NVMe link; mesh
+// links have no per-row channel notion and stay untracked.
+func wireTrace(cfg Config, eng *sim.Engine, grid *controller.Grid, fab controller.Fabric, f *ftl.FTL, h *host.Host, soc *controller.Soc) *trace.Recorder {
+	if cfg.Trace == nil {
+		return nil
+	}
+	rec := trace.New(eng, *cfg.Trace)
+	switch fb := fab.(type) {
+	case *controller.BusFabric:
+		for ch := 0; ch < grid.Channels; ch++ {
+			c := fb.Channel(ch)
+			rec.RegisterTrack(c.Name(), trace.KindHChannel)
+			c.SetObserver(rec)
+		}
+	case *controller.OmnibusFabric:
+		for ch := 0; ch < grid.Channels; ch++ {
+			c := fb.HChannel(ch)
+			rec.RegisterTrack(c.Name(), trace.KindHChannel)
+			c.SetObserver(rec)
+		}
+		for i := 0; i < fb.NumVChannels(); i++ {
+			c := fb.VChannel(i * fb.ColumnsPerVChannel())
+			rec.RegisterTrack(c.Name(), trace.KindVChannel)
+			c.SetObserver(rec)
+		}
+		fb.SetTracer(rec)
+	}
+	grid.ForEach(func(_ controller.ChipID, c *flash.Chip) {
+		rec.RegisterTrack(c.DieName(), trace.KindChip)
+		c.SetObserver(rec)
+	})
+	rec.RegisterTrack("sysbus", trace.KindSoc)
+	rec.RegisterTrack("dram", trace.KindSoc)
+	soc.SetObserver(rec)
+	rec.RegisterTrack(h.NvmeName(), trace.KindHost)
+	h.SetObserver(rec)
+	h.SetTracer(rec)
+	f.SetTracer(rec)
+	return rec
 }
 
 // New builds an SSD of the given architecture. The SoC and NVMe
@@ -217,7 +271,8 @@ func New(arch Arch, cfg Config) *SSD {
 	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj}
+	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -234,7 +289,8 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj}
+	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {

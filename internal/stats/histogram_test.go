@@ -141,6 +141,82 @@ func TestHistogramPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileEmpty pins the empty-histogram contract: every
+// percentile query, including out-of-range p, returns 0 rather than the
+// MaxInt64 sentinel the min field starts at.
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, p := range []float64{-5, 0, 50, 100, 200} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+}
+
+// TestHistogramPercentileSingleSample: with one sample, every percentile
+// is that sample exactly — bucketing must not distort it.
+func TestHistogramPercentileSingleSample(t *testing.T) {
+	v := 137 * sim.Microsecond
+	h := NewLatencyHistogram()
+	h.Add(v)
+	for _, p := range []float64{-1, 0, 0.001, 50, 99.999, 100, 150} {
+		if got := h.Percentile(p); got != v {
+			t.Fatalf("single-sample Percentile(%v) = %v, want %v", p, got, v)
+		}
+	}
+}
+
+// TestHistogramPercentileBoundsExact: p<=0 must return the exact recorded
+// minimum and p>=100 the exact maximum (not bucket bounds), including for
+// out-of-range p.
+func TestHistogramPercentileBoundsExact(t *testing.T) {
+	h := NewLatencyHistogram()
+	lo, hi := 999*sim.Nanosecond, 7777*sim.Microsecond
+	h.Add(lo)
+	h.Add(42 * sim.Microsecond)
+	h.Add(hi)
+	for _, p := range []float64{-10, 0} {
+		if got := h.Percentile(p); got != lo {
+			t.Fatalf("Percentile(%v) = %v, want exact min %v", p, got, lo)
+		}
+	}
+	for _, p := range []float64{100, 250} {
+		if got := h.Percentile(p); got != hi {
+			t.Fatalf("Percentile(%v) = %v, want exact max %v", p, got, hi)
+		}
+	}
+}
+
+// TestHistogramAgreesWithExactOnRandomSample drives the same uniform
+// random sample through the histogram and ExactPercentile and demands
+// agreement within the histogram's documented relative error (~2.6% at 90
+// buckets/decade; allow 6% for rank-rounding) across the full percentile
+// range, exact at the endpoints.
+func TestHistogramAgreesWithExactOnRandomSample(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(99))
+	samples := make([]sim.Time, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := sim.Time(rng.Int63n(int64(10*sim.Millisecond))) + 1
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	if got, want := h.Percentile(0), ExactPercentile(samples, 0); got != want {
+		t.Fatalf("p0: histogram %v, exact %v", got, want)
+	}
+	if got, want := h.Percentile(100), ExactPercentile(samples, 100); got != want {
+		t.Fatalf("p100: histogram %v, exact %v", got, want)
+	}
+	for _, p := range []float64{0.1, 1, 5, 25, 50, 75, 90, 99, 99.9} {
+		exact := ExactPercentile(samples, p)
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.94 || ratio > 1.06 {
+			t.Errorf("p%v: histogram=%v exact=%v ratio=%.3f", p, got, exact, ratio)
+		}
+	}
+}
+
 func TestExactPercentile(t *testing.T) {
 	s := []sim.Time{50, 10, 40, 30, 20}
 	if got := ExactPercentile(s, 50); got != 30 {

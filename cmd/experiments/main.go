@@ -3,9 +3,17 @@
 // individual artifacts, -quick shrinks run sizes for a fast smoke pass,
 // and -csv switches output to CSV.
 //
+// Independent configuration runs inside each figure fan out across
+// -parallel workers (default: GOMAXPROCS); results are reassembled in
+// submission order, so output is byte-identical at any worker count and
+// -parallel 1 restores fully sequential execution. -cpuprofile /
+// -memprofile write pprof profiles for performance work.
+//
 //	go run ./cmd/experiments -fig 14
 //	go run ./cmd/experiments -table 2
 //	go run ./cmd/experiments -quick
+//	go run ./cmd/experiments -quick -parallel 8 -csv
+//	go run ./cmd/experiments -fig 19 -cpuprofile cpu.pprof
 //	go run ./cmd/experiments -quick -trace out.json -metrics-json run.json
 //
 // -trace / -metrics-json switch to a single instrumented GC-heavy run
@@ -18,13 +26,54 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/exp"
 	"repro/internal/ftl"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/ssd"
 )
+
+// startProfiles begins CPU profiling and/or arms a heap-profile dump for
+// the -cpuprofile/-memprofile flags (either may be empty). The returned
+// stop function must run before exit: it finishes the CPU profile and
+// writes the heap snapshot, so future perf PRs can measure instead of
+// guess.
+func startProfiles(cpuPath, memPath string) func() {
+	var stopCPU func()
+	if cpuPath != "" {
+		fh, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = func() { pprof.StopCPUProfile(); fh.Close() }
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if memPath != "" {
+			fh, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer fh.Close()
+			runtime.GC() // materialize only live allocations in the snapshot
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+}
 
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention (empty = all)")
@@ -37,7 +86,14 @@ func main() {
 	reqs := flag.Int("requests", 0, "override trace request count")
 	traceOut := flag.String("trace", "", "run one instrumented GC-heavy run and write a Chrome trace-event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "run one instrumented GC-heavy run and write the run-summary JSON to this file")
+	parallel := flag.Int("parallel", runner.Default(), "worker count for independent simulation runs (1 = sequential)")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	runner.SetDefault(*parallel)
+	stop := startProfiles(*cpuProf, *memProf)
+	defer stop()
 
 	opt := exp.Options{Seed: *seed}
 	if *quick {

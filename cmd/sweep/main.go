@@ -1,19 +1,24 @@
 // Command sweep runs one-dimensional parameter sweeps and emits CSV
 // series suitable for plotting: mean and tail latency versus outstanding
 // I/O depth, bus rate, way count, or request size, for any architecture.
+// Points fan out across -parallel workers (default GOMAXPROCS) and the
+// CSV rows print in sweep order regardless of the worker count.
 //
 //	go run ./cmd/sweep -param outstanding -arch pnssd+split
 //	go run ./cmd/sweep -param busrate -arch base -pattern rand-read
-//	go run ./cmd/sweep -param ways -arch pnssd
+//	go run ./cmd/sweep -param ways -arch pnssd -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/ftl"
+	"repro/internal/runner"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
@@ -41,7 +46,11 @@ func main() {
 	requests := flag.Int("requests", 300, "requests per point")
 	outstanding := flag.Int("outstanding", 16, "outstanding depth (fixed dims)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", runner.Default(), "worker count for sweep points (1 = sequential)")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+	runner.SetDefault(*parallel)
 
 	p, ok := patterns[strings.ToLower(*patternFlag)]
 	if !ok {
@@ -97,24 +106,54 @@ func main() {
 		fatalf("unknown sweep parameter %q", *param)
 	}
 
-	fmt.Printf("param,arch,pattern,x,mean_us,p99_us,kiops\n")
-	for _, arch := range archs {
-		for _, pt := range pts {
-			cfg := pt.mk()
-			cfg.FTL.GCMode = ftl.GCNone
-			s := ssd.New(arch, cfg)
-			foot := s.Config.LogicalPages()
-			s.Host.Warmup(foot)
-			gen := workload.Synthetic(p, foot, pt.req, *seed)
-			s.Host.RunClosedLoop(gen, pt.outs, *requests)
-			s.Run()
-			m := s.Metrics()
-			fmt.Printf("%s,%s,%s,%d,%.2f,%.2f,%.1f\n",
-				*param, arch, p, pt.x,
-				m.MeanLatency().Microseconds(),
-				m.Combined().P99().Microseconds(),
-				m.KIOPS())
+	if *cpuProf != "" {
+		fh, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
 		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() { pprof.StopCPUProfile(); fh.Close() }()
+	}
+	if *memProf != "" {
+		defer func() {
+			fh, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer fh.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	// Every (arch, point) simulation is independent; fan them out and
+	// print the CSV rows afterwards in sweep order so output is
+	// byte-identical at any parallelism.
+	rows := runner.MapDefault(len(archs)*len(pts), func(i int) string {
+		arch, pt := archs[i/len(pts)], pts[i%len(pts)]
+		cfg := pt.mk()
+		cfg.FTL.GCMode = ftl.GCNone
+		s := ssd.New(arch, cfg)
+		foot := s.Config.LogicalPages()
+		s.Host.Warmup(foot)
+		gen := workload.Synthetic(p, foot, pt.req, *seed)
+		s.Host.RunClosedLoop(gen, pt.outs, *requests)
+		s.Run()
+		m := s.Metrics()
+		return fmt.Sprintf("%s,%s,%s,%d,%.2f,%.2f,%.1f",
+			*param, arch, p, pt.x,
+			m.MeanLatency().Microseconds(),
+			m.Combined().P99().Microseconds(),
+			m.KIOPS())
+	})
+	fmt.Printf("param,arch,pattern,x,mean_us,p99_us,kiops\n")
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/ftl"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
@@ -51,18 +52,17 @@ func pnSSDTraceRun(opt Options, trace string, churn float64, mode ftl.GCMode,
 // vertical dimension get?
 func AblationVWidth(opt Options) []AblationRow {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, vBits := range []int{2, 4, 8, 16} {
-		vBits := vBits
+	widths := []int{2, 4, 8, 16}
+	return runner.MapDefault(len(widths), func(i int) AblationRow {
+		vBits := widths[i]
 		_, row := pnSSDTraceRun(opt, "exchange-1", 0, ftl.GCNone,
 			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
 				return controller.NewOmnibusFabricAsym(eng, "pnssd", grid, soc, pageSize, 8, vBits, opt.Cfg.BusMTps, false)
 			})
 		row.Name = fmt.Sprintf("v-width %d bits", vBits)
 		row.Detail = "h fixed at 8 bits, exchange-1, no GC"
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // AblationRouting compares h-only routing, greedy adaptive, and
@@ -74,15 +74,15 @@ func AblationRouting(opt Options) []AblationRow {
 		split bool
 		route controller.RoutePolicy
 	}
-	var rows []AblationRow
-	for _, v := range []variant{
+	variants := []variant{
 		{"h-only (no path diversity)", false, controller.RouteHOnly},
 		{"greedy (paper)", false, controller.RouteGreedy},
 		{"greedy + split (paper)", true, controller.RouteGreedy},
 		{"join-shortest-queue (future work)", false, controller.RouteJSQ},
 		{"JSQ + split", true, controller.RouteJSQ},
-	} {
-		v := v
+	}
+	return runner.MapDefault(len(variants), func(i int) AblationRow {
+		v := variants[i]
 		_, row := pnSSDTraceRun(opt, "search-0", 0, ftl.GCNone,
 			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
 				f := controller.NewOmnibusFabric(eng, "pnssd", grid, soc, pageSize, 8, opt.Cfg.BusMTps, v.split)
@@ -91,9 +91,8 @@ func AblationRouting(opt Options) []AblationRow {
 			})
 		row.Name = v.name
 		row.Detail = "search-0 (extreme read skew), no GC"
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // AblationEccFallback sweeps the on-die ECC failure rate of direct
@@ -102,9 +101,9 @@ func AblationRouting(opt Options) []AblationRow {
 // the isolation SpGC buys.
 func AblationEccFallback(opt Options) []AblationRow {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, rate := range []float64{0, 0.01, 0.1, 0.5, 1.0} {
-		rate := rate
+	rates := []float64{0, 0.01, 0.1, 0.5, 1.0}
+	return runner.MapDefault(len(rates), func(i int) AblationRow {
+		rate := rates[i]
 		var fab *controller.OmnibusFabric
 		cfg := gcCfg(opt)
 		cfg.FTL.GCMode = ftl.GCSpatial
@@ -122,14 +121,13 @@ func AblationEccFallback(opt Options) []AblationRow {
 		s.Host.Replay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:    fmt.Sprintf("on-die ECC fail %.0f%%", rate*100),
 			Latency: m.MeanLatency(),
 			P99:     m.Combined().P99(),
 			Detail:  fmt.Sprintf("rocksdb-0 + SpGC, %d copies relayed for strong ECC", fab.EccFallbacks()),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationCtrlLatency sweeps the control-plane message latency: how slow
@@ -137,9 +135,9 @@ func AblationEccFallback(opt Options) []AblationRow {
 // v-channel stops paying off?
 func AblationCtrlLatency(opt Options) []AblationRow {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, d := range []sim.Time{0, 100 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond, 10 * sim.Microsecond} {
-		d := d
+	lats := []sim.Time{0, 100 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond, 10 * sim.Microsecond}
+	return runner.MapDefault(len(lats), func(i int) AblationRow {
+		d := lats[i]
 		_, row := pnSSDTraceRun(opt, "exchange-1", 0, ftl.GCNone,
 			func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric {
 				soc.SetCtrlMsgLatency(d)
@@ -147,17 +145,17 @@ func AblationCtrlLatency(opt Options) []AblationRow {
 			})
 		row.Name = fmt.Sprintf("ctrl msg %v", d)
 		row.Detail = "exchange-1, adaptive+split"
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // AblationGCGroup sweeps the SpGC GC-group fraction (Sec VI-A: a 1/4
 // group trades more frequent collection for better read isolation).
 func AblationGCGroup(opt Options) []AblationRow {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, frac := range []float64{0.25, 0.5, 0.75} {
+	fracs := []float64{0.25, 0.5, 0.75}
+	return runner.MapDefault(len(fracs), func(i int) AblationRow {
+		frac := fracs[i]
 		cfg := gcCfg(opt)
 		cfg.FTL.GCMode = ftl.GCSpatial
 		cfg.FTL.GCGroupFraction = frac
@@ -171,22 +169,22 @@ func AblationGCGroup(opt Options) []AblationRow {
 		s.Run()
 		m := s.Metrics()
 		st := s.FTL.Stats()
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:    fmt.Sprintf("GC group %.0f%%", frac*100),
 			Latency: m.MeanLatency(),
 			P99:     m.Combined().P99(),
 			Detail:  fmt.Sprintf("rocksdb-0, %d GC rounds, %d copies", st.GCRounds, st.GCPagesCopied),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationOrganization compares square and non-square Omnibus grids at a
 // constant 64-chip budget (Sec V-E scaling).
 func AblationOrganization(opt Options) []AblationRow {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, org := range []struct{ ch, ways int }{{4, 16}, {8, 8}, {16, 4}} {
+	orgs := []struct{ ch, ways int }{{4, 16}, {8, 8}, {16, 4}}
+	return runner.MapDefault(len(orgs), func(i int) AblationRow {
+		org := orgs[i]
 		cfg := *opt.Cfg
 		cfg.Channels, cfg.Ways = org.ch, org.ways
 		s := build(ssd.ArchPnSSDSplit, cfg, ftl.GCNone, ftl.PCWD)
@@ -199,14 +197,13 @@ func AblationOrganization(opt Options) []AblationRow {
 		s.Run()
 		m := s.Metrics()
 		omni := s.Fabric.(*controller.OmnibusFabric)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:    fmt.Sprintf("%d channels x %d ways", org.ch, org.ways),
 			Latency: m.MeanLatency(),
 			P99:     m.Combined().P99(),
 			Detail:  fmt.Sprintf("%d v-channels, %d columns each", omni.NumVChannels(), omni.ColumnsPerVChannel()),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationVictimPolicy compares greedy and cost-benefit victim selection
@@ -214,8 +211,9 @@ func AblationOrganization(opt Options) []AblationRow {
 // cost by preferring cold, low-valid blocks.
 func AblationVictimPolicy(opt Options) []AblationRow {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, vp := range []ftl.VictimPolicy{ftl.VictimGreedy, ftl.VictimCostBenefit} {
+	policies := []ftl.VictimPolicy{ftl.VictimGreedy, ftl.VictimCostBenefit}
+	return runner.MapDefault(len(policies), func(i int) AblationRow {
+		vp := policies[i]
 		cfg := gcCfg(opt)
 		cfg.FTL.GCMode = ftl.GCParallel
 		cfg.FTL.Victim = vp
@@ -240,12 +238,11 @@ func AblationVictimPolicy(opt Options) []AblationRow {
 		if st.GCBlocksErased > 0 {
 			perBlock = float64(st.GCPagesCopied) / float64(st.GCBlocksErased)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:    vp.String(),
 			Latency: m.MeanLatency(),
 			P99:     m.Combined().P99(),
 			Detail:  fmt.Sprintf("hot/cold writes + PaGC, %.1f copies per reclaimed block", perBlock),
-		})
-	}
-	return rows
+		}
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/ftl"
 	"repro/internal/mesh"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
@@ -31,8 +32,9 @@ type ContentionRow struct {
 // architecture and reports where time is spent queueing.
 func Contention(opt Options) []ContentionRow {
 	opt = opt.withDefaults()
-	var rows []ContentionRow
-	for _, arch := range []ssd.Arch{ssd.ArchBase, ssd.ArchPSSD, ssd.ArchPnSSD, ssd.ArchPnSSDSplit, ssd.ArchNoSSDPin} {
+	archs := []ssd.Arch{ssd.ArchBase, ssd.ArchPSSD, ssd.ArchPnSSD, ssd.ArchPnSSDSplit, ssd.ArchNoSSDPin}
+	return runner.MapDefault(len(archs), func(i int) ContentionRow {
+		arch := archs[i]
 		s := build(arch, *opt.Cfg, ftl.GCNone, ftl.PCWD)
 		warm(s, 0, opt.Seed)
 		tr, err := workload.Named("search-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
@@ -95,9 +97,8 @@ func Contention(opt Options) []ContentionRow {
 			}
 			row.HMeanWait, row.HMaxWait, row.BusiestUtil = scan(chs)
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // meshNode and meshController adapt the mesh package's node constructors

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/ftl"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -32,40 +33,37 @@ type FaultSweepRow struct {
 func FaultSweep(opt Options) []FaultSweepRow {
 	opt = opt.withDefaults()
 	rates := []float64{0, 0.005, 0.01}
-	var rows []FaultSweepRow
-	for _, arch := range ssd.Archs {
-		for _, rate := range rates {
-			cfg := gcCfg(opt)
-			cfg.FTL.GCMode = ftl.GCParallel
-			cfg.Fault = &fault.Config{
-				Seed:                uint64(opt.Seed),
-				ReadECCRate:         rate,
-				OnDieECCRate:        rate,
-				ProgramFailsPerChip: 2,
-				EraseFailsPerChip:   1,
-			}
-			s := ssd.New(arch, cfg)
-			warm(s, opt.ChurnFraction, opt.Seed)
-			tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
-			if err != nil {
-				panic(err)
-			}
-			completed := s.Host.Replay(tr.Requests)
-			s.Run()
-			m := s.Metrics()
-			rows = append(rows, FaultSweepRow{
-				Arch:       arch,
-				ReadECC:    rate,
-				Latency:    m.MeanLatency(),
-				P99:        m.Combined().P99(),
-				KIOPS:      m.KIOPS(),
-				RAS:        s.RAS(),
-				Consistent: s.FTL.CheckConsistency() == nil,
-				Completed:  *completed == len(tr.Requests),
-			})
+	return runner.MapDefault(len(ssd.Archs)*len(rates), func(i int) FaultSweepRow {
+		arch, rate := ssd.Archs[i/len(rates)], rates[i%len(rates)]
+		cfg := gcCfg(opt)
+		cfg.FTL.GCMode = ftl.GCParallel
+		cfg.Fault = &fault.Config{
+			Seed:                uint64(opt.Seed),
+			ReadECCRate:         rate,
+			OnDieECCRate:        rate,
+			ProgramFailsPerChip: 2,
+			EraseFailsPerChip:   1,
 		}
-	}
-	return rows
+		s := ssd.New(arch, cfg)
+		warm(s, opt.ChurnFraction, opt.Seed)
+		tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
+		if err != nil {
+			panic(err)
+		}
+		completed := s.Host.Replay(tr.Requests)
+		s.Run()
+		m := s.Metrics()
+		return FaultSweepRow{
+			Arch:       arch,
+			ReadECC:    rate,
+			Latency:    m.MeanLatency(),
+			P99:        m.Combined().P99(),
+			KIOPS:      m.KIOPS(),
+			RAS:        s.RAS(),
+			Consistent: s.FTL.CheckConsistency() == nil,
+			Completed:  *completed == len(tr.Requests),
+		}
+	})
 }
 
 // DegradedRow is one interconnect-degradation scenario on pnSSD+split.
@@ -113,18 +111,25 @@ func DegradedSweep(opt Options) []DegradedRow {
 		}
 	}
 
-	rows := []DegradedRow{
-		run("healthy baseline", fault.Config{}),
-		run("grant drop 10%", fault.Config{GrantDropRate: 0.1}),
+	type scenario struct {
+		name string
+		fc   fault.Config
+	}
+	scenarios := []scenario{
+		{"healthy baseline", fault.Config{}},
+		{"grant drop 10%", fault.Config{GrantDropRate: 0.1}},
 	}
 	numV := opt.Cfg.Channels
 	if opt.Cfg.Ways < numV {
 		numV = opt.Cfg.Ways
 	}
 	for v := 0; v < numV; v++ {
-		rows = append(rows, run(fmt.Sprintf("v-channel %d dead", v),
-			fault.Config{DeadVChannels: []int{v}}))
+		scenarios = append(scenarios, scenario{fmt.Sprintf("v-channel %d dead", v),
+			fault.Config{DeadVChannels: []int{v}}})
 	}
+	rows := runner.MapDefault(len(scenarios), func(i int) DegradedRow {
+		return run(scenarios[i].name, scenarios[i].fc)
+	})
 	base := rows[0].KIOPS
 	for i := range rows {
 		if base > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ftl"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -63,12 +64,21 @@ func Fig18(opt Options) []Fig18Row {
 		s.Run()
 		return s.Metrics().MeanLatency()
 	}
+	// Two independent runs (read, write) per configuration.
+	lats := runner.MapDefault(len(Fig18Configs)*2, func(i int) sim.Time {
+		c := Fig18Configs[i/2]
+		p := workload.RandRead
+		if i%2 == 1 {
+			p = workload.RandWrite
+		}
+		return run(c, p)
+	})
 	rows := make([]Fig18Row, len(Fig18Configs))
 	for i, c := range Fig18Configs {
 		rows[i] = Fig18Row{
 			Config:       c,
-			ReadLatency:  run(c, workload.RandRead),
-			WriteLatency: run(c, workload.RandWrite),
+			ReadLatency:  lats[2*i],
+			WriteLatency: lats[2*i+1],
 		}
 	}
 	for i := range rows {
@@ -104,18 +114,27 @@ type Fig19Row struct {
 // Fig19 reproduces the trace-driven GC comparison of Fig 19.
 func Fig19(opt Options) []Fig19Row {
 	opt = opt.withDefaults()
+	type point struct {
+		lat sim.Time
+		st  ftl.Stats
+	}
+	nc := len(Fig19Configs)
+	pts := runner.MapDefault(len(opt.Traces)*nc, func(i int) point {
+		trace, c := opt.Traces[i/nc], Fig19Configs[i%nc]
+		m, st := replayTrace(c.Arch, gcCfg(opt), c.Mode, trace, opt.TraceRequests, opt.ChurnFraction, opt.Seed)
+		return point{lat: m.MeanLatency(), st: st}
+	})
 	rows := make([]Fig19Row, 0, len(opt.Traces))
-	for _, trace := range opt.Traces {
+	for ti, trace := range opt.Traces {
 		row := Fig19Row{
 			Trace:       trace,
 			Latency:     make(map[string]sim.Time),
 			Improvement: make(map[string]float64),
 			GCStats:     make(map[string]ftl.Stats),
 		}
-		for _, c := range Fig19Configs {
-			m, st := replayTrace(c.Arch, gcCfg(opt), c.Mode, trace, opt.TraceRequests, opt.ChurnFraction, opt.Seed)
-			row.Latency[c.Label()] = m.MeanLatency()
-			row.GCStats[c.Label()] = st
+		for ci, c := range Fig19Configs {
+			row.Latency[c.Label()] = pts[ti*nc+ci].lat
+			row.GCStats[c.Label()] = pts[ti*nc+ci].st
 		}
 		baseLabel := Fig19Configs[0].Label()
 		for _, c := range Fig19Configs {
@@ -151,8 +170,8 @@ type Fig20aRow struct {
 // pnSSD(SpGC) over the baseline).
 func Fig20a(opt Options) []Fig20aRow {
 	opt = opt.withDefaults()
-	rows := make([]Fig20aRow, 0, len(Fig20aConfigs))
-	for _, c := range Fig20aConfigs {
+	return runner.MapDefault(len(Fig20aConfigs), func(i int) Fig20aRow {
+		c := Fig20aConfigs[i]
 		s := build(c.Arch, gcCfg(opt), c.Mode, ftl.PCWD)
 		warm(s, opt.ChurnFraction, opt.Seed)
 		tr, err := workload.Named("rocksdb-0", s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
@@ -162,7 +181,7 @@ func Fig20a(opt Options) []Fig20aRow {
 		s.Host.Replay(tr.Requests)
 		s.Run()
 		h := s.Metrics().Combined()
-		rows = append(rows, Fig20aRow{
+		return Fig20aRow{
 			Config: c,
 			P50:    h.Percentile(50),
 			P90:    h.Percentile(90),
@@ -170,9 +189,8 @@ func Fig20a(opt Options) []Fig20aRow {
 			P999:   h.Percentile(99.9),
 			Max:    h.Max(),
 			CDF:    h.CDF(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // Fig20bRow is the mean GC elapsed time for one configuration across all
@@ -190,13 +208,19 @@ type Fig20bRow struct {
 // bus contention for the copies themselves.
 func Fig20b(opt Options) []Fig20bRow {
 	opt = opt.withDefaults()
+	nt := len(opt.Traces)
+	sts := runner.MapDefault(len(Fig20aConfigs)*nt, func(i int) ftl.Stats {
+		c, trace := Fig20aConfigs[i/nt], opt.Traces[i%nt]
+		_, st := replayTrace(c.Arch, gcCfg(opt), c.Mode, trace, opt.TraceRequests, opt.ChurnFraction, opt.Seed)
+		return st
+	})
 	rows := make([]Fig20bRow, len(Fig20aConfigs))
 	for i, c := range Fig20aConfigs {
 		rows[i].Config = c
 		var total sim.Time
 		var rounds, pages int64
-		for _, trace := range opt.Traces {
-			_, st := replayTrace(c.Arch, gcCfg(opt), c.Mode, trace, opt.TraceRequests, opt.ChurnFraction, opt.Seed)
+		for ti := 0; ti < nt; ti++ {
+			st := sts[i*nt+ti]
 			total += st.GCTotalTime
 			rounds += st.GCRounds
 			pages += st.GCPagesCopied

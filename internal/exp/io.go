@@ -3,6 +3,7 @@ package exp
 import (
 	"repro/internal/ftl"
 	"repro/internal/host"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -47,8 +48,10 @@ func Fig3(opt Options) Fig3Result {
 		s.Run()
 		return m.Rows()
 	}
-	readRows := run(stats.Read)
-	writeRows := run(stats.Write)
+	rows := runner.MapDefault(2, func(i int) [][]float64 {
+		return run([]stats.IOKind{stats.Read, stats.Write}[i])
+	})
+	readRows, writeRows := rows[0], rows[1]
 	return Fig3Result{
 		Trace:          trace,
 		ReadRows:       readRows,
@@ -71,18 +74,20 @@ type Fig4Row struct {
 func Fig4(opt Options) []Fig4Row {
 	opt = opt.withDefaults()
 	scales := []float64{1.0, 1.25, 1.5, 2.0}
+	// One independent run per (trace, scale) point, fanned across workers;
+	// speedups are assembled afterwards from the ordered results.
+	lats := runner.MapDefault(len(opt.Traces)*len(scales), func(i int) sim.Time {
+		trace, sc := opt.Traces[i/len(scales)], scales[i%len(scales)]
+		cfg := *opt.Cfg
+		cfg.BusMTps = int(float64(cfg.BusMTps) * sc)
+		m, _ := replayTrace(ssd.ArchBase, cfg, ftl.GCNone, trace, opt.TraceRequests, 0, opt.Seed)
+		return m.MeanLatency()
+	})
 	rows := make([]Fig4Row, 0, len(opt.Traces))
-	for _, trace := range opt.Traces {
-		base := make(map[float64]sim.Time, len(scales))
-		for _, sc := range scales {
-			cfg := *opt.Cfg
-			cfg.BusMTps = int(float64(cfg.BusMTps) * sc)
-			m, _ := replayTrace(ssd.ArchBase, cfg, ftl.GCNone, trace, opt.TraceRequests, 0, opt.Seed)
-			base[sc] = m.MeanLatency()
-		}
+	for ti, trace := range opt.Traces {
 		row := Fig4Row{Trace: trace, Speedup: make(map[float64]float64, len(scales))}
-		for _, sc := range scales {
-			row.Speedup[sc] = speedup(base[1.0], base[sc])
+		for si, sc := range scales {
+			row.Speedup[sc] = speedup(lats[ti*len(scales)], lats[ti*len(scales)+si])
 		}
 		rows = append(rows, row)
 	}
@@ -103,18 +108,27 @@ type Fig14Row struct {
 // (Fig 15).
 func Fig14(opt Options) []Fig14Row {
 	opt = opt.withDefaults()
+	type point struct {
+		lat   sim.Time
+		kiops float64
+	}
+	pts := runner.MapDefault(len(opt.Traces)*len(ssd.Archs), func(i int) point {
+		trace, arch := opt.Traces[i/len(ssd.Archs)], ssd.Archs[i%len(ssd.Archs)]
+		m, _ := replayTrace(arch, *opt.Cfg, ftl.GCNone, trace, opt.TraceRequests, 0, opt.Seed)
+		return point{lat: m.MeanLatency(), kiops: m.KIOPS()}
+	})
 	rows := make([]Fig14Row, 0, len(opt.Traces))
-	for _, trace := range opt.Traces {
+	for ti, trace := range opt.Traces {
 		row := Fig14Row{
 			Trace:       trace,
 			Latency:     make(map[ssd.Arch]sim.Time),
 			Improvement: make(map[ssd.Arch]float64),
 			KIOPS:       make(map[ssd.Arch]float64),
 		}
-		for _, arch := range ssd.Archs {
-			m, _ := replayTrace(arch, *opt.Cfg, ftl.GCNone, trace, opt.TraceRequests, 0, opt.Seed)
-			row.Latency[arch] = m.MeanLatency()
-			row.KIOPS[arch] = m.KIOPS()
+		for ai, arch := range ssd.Archs {
+			p := pts[ti*len(ssd.Archs)+ai]
+			row.Latency[arch] = p.lat
+			row.KIOPS[arch] = p.kiops
 		}
 		for _, arch := range ssd.Archs {
 			row.Improvement[arch] = improvement(row.Latency[ssd.ArchBase], row.Latency[arch])
@@ -165,13 +179,23 @@ func syntheticSweep(opt Options, policy ftl.AllocPolicy) []Fig16Row {
 	opt = opt.withDefaults()
 	outs := []int{1, 2, 4, 8, 16, 32, 64}
 	patterns := []workload.Pattern{workload.SeqRead, workload.RandRead, workload.SeqWrite, workload.RandWrite}
+	// The full (pattern, arch, outstanding) cube is one flat job space.
+	lats := runner.MapDefault(len(patterns)*len(ssd.Archs)*len(outs), func(i int) sim.Time {
+		p := patterns[i/(len(ssd.Archs)*len(outs))]
+		arch := ssd.Archs[i/len(outs)%len(ssd.Archs)]
+		o := outs[i%len(outs)]
+		m := runClosedLoop(arch, *opt.Cfg, policy, p, o, opt.SyntheticRequests, opt.Seed)
+		return m.MeanLatency()
+	})
 	var rows []Fig16Row
-	for _, p := range patterns {
-		for _, arch := range ssd.Archs {
+	for pi, p := range patterns {
+		for ai, arch := range ssd.Archs {
 			row := Fig16Row{Pattern: p, Arch: arch}
-			for _, o := range outs {
-				m := runClosedLoop(arch, *opt.Cfg, policy, p, o, opt.SyntheticRequests, opt.Seed)
-				row.Points = append(row.Points, Fig16Point{Outstanding: o, Latency: m.MeanLatency()})
+			for oi, o := range outs {
+				row.Points = append(row.Points, Fig16Point{
+					Outstanding: o,
+					Latency:     lats[(pi*len(ssd.Archs)+ai)*len(outs)+oi],
+				})
 			}
 			rows = append(rows, row)
 		}

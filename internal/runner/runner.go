@@ -1,0 +1,125 @@
+// Package runner fans independent simulation runs across OS threads.
+//
+// Every experiment in this repository sweeps dozens of configurations,
+// and each configuration is a self-contained deterministic simulation: it
+// builds its own sim.Engine, its own SSD, its own workload generator, and
+// shares no mutable state with any other run. That makes the sweeps
+// embarrassingly parallel — the only requirement is that results come
+// back in submission order so tables, CSV output, and downstream
+// normalization (row 0 is usually the baseline) are byte-identical to a
+// sequential pass.
+//
+// Map is the single primitive: run n index-addressed jobs on up to p
+// goroutines and return the results as a slice in index order. With p=1
+// the jobs run inline on the calling goroutine in index order, which is
+// exactly the pre-parallelism behavior. Determinism therefore does not
+// depend on scheduling at all: each job is deterministic in isolation,
+// and assembly order is fixed by index, so any p produces the same bytes.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultParallelism is the worker count used by Default-driven call
+// sites; it is stored atomically so the -parallel flag handlers in main
+// packages and concurrent test runners never race on it.
+var defaultParallelism atomic.Int64
+
+func init() { defaultParallelism.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetDefault sets the process-wide default worker count used by Default.
+// Values below 1 are clamped to 1 (sequential).
+func SetDefault(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultParallelism.Store(int64(n))
+}
+
+// Default returns the process-wide default worker count: GOMAXPROCS at
+// startup unless overridden by SetDefault (the -parallel flag).
+func Default() int { return int(defaultParallelism.Load()) }
+
+// jobPanic carries a worker panic (plus its job index) back to the Map
+// caller so it resurfaces on the calling goroutine, as it would have
+// sequentially, instead of crashing the process from a worker.
+type jobPanic struct {
+	index int
+	value any
+}
+
+// Map runs job(0) … job(n-1) on up to parallel goroutines and returns
+// their results in index order. parallel <= 1 (or n <= 1) runs the jobs
+// inline in index order on the calling goroutine. Jobs must be
+// independent: each builds whatever engine/device it needs and returns a
+// value. If any job panics, Map re-panics on the calling goroutine with
+// the first panicking index's value after all workers have stopped
+// picking up new work.
+func Map[T any](parallel, n int, job func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if parallel <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	if parallel > n {
+		parallel = n
+	}
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failed  bool
+		failure jobPanic
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				stop := failed
+				mu.Unlock()
+				if stop {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							mu.Lock()
+							if !failed || i < failure.index {
+								failed = true
+								failure = jobPanic{index: i, value: v}
+							}
+							mu.Unlock()
+						}
+					}()
+					out[i] = job(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if failed {
+		panic(fmt.Sprintf("runner: job %d panicked: %v", failure.index, failure.value))
+	}
+	return out
+}
+
+// MapDefault is Map at the process-wide default parallelism.
+func MapDefault[T any](n int, job func(i int) T) []T {
+	return Map(Default(), n, job)
+}

@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 16} {
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(8, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	got := Map(8, 1, func(i int) int { return 41 + i })
+	if len(got) != 1 || got[0] != 41 {
+		t.Fatalf("n=1 returned %v", got)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	var calls [257]atomic.Int32
+	Map(8, len(calls), func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("propagated panic %v does not carry the job's value", v)
+		}
+	}()
+	Map(4, 32, func(i int) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestSetDefaultClampsToOne(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	SetDefault(-3)
+	if Default() != 1 {
+		t.Fatalf("Default() = %d after SetDefault(-3), want 1", Default())
+	}
+	SetDefault(6)
+	if Default() != 6 {
+		t.Fatalf("Default() = %d, want 6", Default())
+	}
+}
+
+// TestMapSimulationsDeterministic runs real (tiny) SSD simulations — the
+// runner's actual payload — sequentially and at several parallelism
+// levels and requires identical metrics: each run owns a private engine,
+// so scheduling must not leak into results.
+func TestMapSimulationsDeterministic(t *testing.T) {
+	cfg := ssd.ScaledConfig()
+	cfg.Geometry.BlocksPerPlane = 8
+	cfg.Geometry.PagesPerBlock = 16
+	run := func(i int) [2]float64 {
+		s := ssd.New(ssd.Archs[i%len(ssd.Archs)], cfg)
+		foot := s.Config.LogicalPages()
+		s.Host.Warmup(foot)
+		gen := workload.Synthetic(workload.RandRead, foot, 2, int64(i+1))
+		s.Host.RunClosedLoop(gen, 4, 40)
+		s.Run()
+		m := s.Metrics()
+		return [2]float64{m.MeanLatency().Microseconds(), m.KIOPS()}
+	}
+	want := Map(1, 12, run)
+	for _, p := range []int{2, 8} {
+		got := Map(p, 12, run)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallel=%d: run %d = %v, sequential %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}

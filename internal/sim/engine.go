@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -60,24 +59,75 @@ type event struct {
 	fn  func()
 }
 
+// before reports whether a must fire before b: earlier timestamp first,
+// scheduling order (seq) breaking ties. seq is unique, so the order is a
+// total order and every run replays identically.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a 4-ary min-heap of concrete event values ordered by
+// before. It replaces container/heap: no heap.Interface, no interface{}
+// boxing on push/pop, and the arity-4 layout halves the tree depth so
+// sift-down touches fewer cache lines per operation. The backing array is
+// kept (and only grown) across Run loops, so a drained engine re-fills
+// its queue without reallocating.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push appends ev and sifts it up to its position.
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+
+// popMin removes and returns the earliest event. The vacated tail slot is
+// zeroed so the callback closure becomes collectable immediately.
+func (h *eventHeap) popMin() event {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = event{}
+	s = s[:last]
+	*h = s
+
+	// Sift the relocated element down: find the smallest of up to four
+	// children, swap if it precedes the parent.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if s[c].before(s[best]) {
+				best = c
+			}
+		}
+		if !s[best].before(s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return min
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -121,7 +171,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Run executes events until the queue drains and returns the final time.
@@ -132,10 +182,14 @@ func (e *Engine) Run() Time {
 	return e.now
 }
 
-// RunUntil executes events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued; the clock is left at the deadline or at
-// the last event time, whichever is later was reached first. It returns the
-// number of events fired.
+// RunUntil executes every event with a timestamp <= deadline, including
+// events those events schedule into the window, and returns the number of
+// events fired. Events beyond the deadline remain queued. The clock
+// contract: on return the clock is exactly max(now, deadline) — it
+// advances to the deadline even if the last event fired earlier (or no
+// event fired at all), and an event scheduled exactly at the deadline
+// does fire. If the deadline precedes the current clock, nothing fires
+// and the clock is unchanged.
 func (e *Engine) RunUntil(deadline Time) int64 {
 	var n int64
 	for len(e.events) > 0 && e.events[0].at <= deadline {
@@ -162,7 +216,7 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.popMin()
 	if ev.at < e.now {
 		panic("sim: event heap corrupted")
 	}

@@ -113,6 +113,44 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+// TestEngineRunUntilClockAtDeadline pins the deadline/clock contract:
+// an event exactly at the deadline fires, the clock lands exactly on the
+// deadline whether or not any event reached it, and a deadline in the
+// past fires nothing and leaves the clock alone.
+func TestEngineRunUntilClockAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 25, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	// Event exactly at the deadline fires and the clock stops at it.
+	if n := e.RunUntil(25); n != 2 {
+		t.Fatalf("RunUntil(25) fired %d, want 2 (deadline event included)", n)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("now = %v, want exactly 25", e.Now())
+	}
+	// Deadline with no events in the window: clock still advances to it.
+	if n := e.RunUntil(30); n != 0 {
+		t.Fatalf("RunUntil(30) fired %d, want 0", n)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v, want 30 (clock advances to idle deadline)", e.Now())
+	}
+	// Deadline in the past: nothing fires, clock unchanged.
+	if n := e.RunUntil(20); n != 0 {
+		t.Fatalf("RunUntil(20) fired %d, want 0", n)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v, want 30 (past deadline must not rewind)", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 || e.Now() != 40 {
+		t.Fatalf("after Run: now=%v fired=%v", e.Now(), fired)
+	}
+}
+
 func TestEngineRunFor(t *testing.T) {
 	e := NewEngine()
 	count := 0

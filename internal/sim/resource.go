@@ -23,6 +23,19 @@ type Resource struct {
 	obs         ResourceObserver
 	curLabel    string
 	curQueued   Time
+
+	// Timed-hold fast path: Use/UseLabeled holds are granted through the
+	// two method values below (bound once at construction) instead of
+	// per-hold closures, so the common "occupy a bus for a serialization
+	// time" pattern schedules zero heap allocations. The duration and
+	// completion callback of the hold currently in flight live in curDur
+	// and curDone; unit capacity guarantees at most one timed hold is
+	// active at a time, so one slot suffices. Queued timed holds carry
+	// their duration/callback in their grantReq until granted.
+	curDur    Time
+	curDone   func()
+	grantStep func() // bound r.timedGrantStep
+	relStep   func() // bound r.timedReleaseStep
 }
 
 // ResourceObserver receives passive notifications about a resource's
@@ -43,6 +56,11 @@ type grantReq struct {
 	fn    func()
 	at    Time
 	label string
+	// timed marks a Use/UseLabeled hold: fn is nil and the hold runs for
+	// dur, then releases and calls done (which may be nil).
+	timed bool
+	dur   Time
+	done  func()
 }
 
 // DefaultHoldLabel names holds acquired without an explicit label.
@@ -51,7 +69,10 @@ const DefaultHoldLabel = "hold"
 // NewResource creates an idle resource attached to the engine. The name is
 // used only for diagnostics.
 func NewResource(eng *Engine, name string) *Resource {
-	return &Resource{eng: eng, name: name}
+	r := &Resource{eng: eng, name: name}
+	r.grantStep = r.timedGrantStep
+	r.relStep = r.timedReleaseStep
+	return r
 }
 
 // Name returns the diagnostic name supplied at construction.
@@ -84,7 +105,7 @@ func (r *Resource) AcquireLabeled(label string, fn func()) {
 		panic("sim: nil acquire callback for " + r.name)
 	}
 	if !r.busy {
-		r.grant(label, fn, r.eng.Now())
+		r.grant(grantReq{fn: fn, at: r.eng.Now(), label: label})
 		return
 	}
 	r.waiters = append(r.waiters, grantReq{fn: fn, at: r.eng.Now(), label: label})
@@ -99,17 +120,43 @@ func (r *Resource) TryAcquire(fn func()) bool {
 	if r.busy || len(r.waiters) > 0 {
 		return false
 	}
-	r.grant(DefaultHoldLabel, fn, r.eng.Now())
+	r.grant(grantReq{fn: fn, at: r.eng.Now(), label: DefaultHoldLabel})
 	return true
 }
 
-func (r *Resource) grant(label string, fn func(), queuedAt Time) {
+func (r *Resource) grant(req grantReq) {
 	r.busy = true
 	r.busySince = r.eng.Now()
-	r.curLabel = label
-	r.curQueued = queuedAt
+	r.curLabel = req.label
+	r.curQueued = req.at
 	r.totalGrants++
-	r.eng.Schedule(0, fn)
+	if req.timed {
+		r.curDur = req.dur
+		r.curDone = req.done
+		r.eng.Schedule(0, r.grantStep)
+		return
+	}
+	r.eng.Schedule(0, req.fn)
+}
+
+// timedGrantStep is the grant event of a timed hold: it runs at the grant
+// instant and schedules the release, exactly as the closure pair in
+// UseLabeled used to — same event count, same seq consumption, so runs
+// are bit-identical to the closure-based implementation.
+func (r *Resource) timedGrantStep() {
+	r.eng.Schedule(r.curDur, r.relStep)
+}
+
+// timedReleaseStep releases a timed hold and runs its completion
+// callback. curDone is read before Release because Release may grant the
+// next queued timed hold, which overwrites the slot.
+func (r *Resource) timedReleaseStep() {
+	done := r.curDone
+	r.curDone = nil
+	r.Release()
+	if done != nil {
+		done()
+	}
 }
 
 // Release frees the resource and grants it to the next FIFO waiter, if any.
@@ -138,7 +185,7 @@ func (r *Resource) Release() {
 		if r.obs != nil {
 			r.obs.ResourceQueue(r, len(r.waiters), r.eng.Now())
 		}
-		r.grant(next.label, next.fn, next.at)
+		r.grant(next)
 	}
 }
 
@@ -147,19 +194,24 @@ func (r *Resource) Release() {
 // time" helper.
 func (r *Resource) Use(d Time, done func()) { r.UseLabeled(DefaultHoldLabel, d, done) }
 
-// UseLabeled is Use with an observer label for the hold.
+// UseLabeled is Use with an observer label for the hold. It is the
+// engine's hottest path — every bus transfer and flash operation passes
+// through it — so it is allocation-free: instead of building a
+// grant-then-release closure pair per hold, the hold's duration and done
+// callback ride in the grant request and fire through per-resource
+// method values bound once at construction.
 func (r *Resource) UseLabeled(label string, d Time, done func()) {
 	if d < 0 {
 		panic("sim: negative hold duration for " + r.name)
 	}
-	r.AcquireLabeled(label, func() {
-		r.eng.Schedule(d, func() {
-			r.Release()
-			if done != nil {
-				done()
-			}
-		})
-	})
+	if !r.busy {
+		r.grant(grantReq{at: r.eng.Now(), label: label, timed: true, dur: d, done: done})
+		return
+	}
+	r.waiters = append(r.waiters, grantReq{at: r.eng.Now(), label: label, timed: true, dur: d, done: done})
+	if r.obs != nil {
+		r.obs.ResourceQueue(r, len(r.waiters), r.eng.Now())
+	}
 }
 
 // TotalBusy returns cumulative held time over completed holds.
@@ -214,11 +266,17 @@ func (u *UtilRecorder) AddBusy(from, to Time) {
 	if to < from {
 		panic("sim: inverted busy interval")
 	}
+	if from == to {
+		return
+	}
+	// Grow straight to the interval's last window instead of one window
+	// per loop iteration: an interval far past the recorded range costs
+	// one append, not O(gap) reallocating appends.
+	if last := int((to - 1) / u.window); last >= len(u.busyPer) {
+		u.busyPer = append(u.busyPer, make([]Time, last+1-len(u.busyPer))...)
+	}
 	for from < to {
 		w := int(from / u.window)
-		for w >= len(u.busyPer) {
-			u.busyPer = append(u.busyPer, 0)
-		}
 		end := Time(w+1) * u.window
 		if end > to {
 			end = to

@@ -30,6 +30,7 @@ import (
 	"runtime/pprof"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/exp"
 	"repro/internal/ftl"
 	"repro/internal/report"
@@ -81,6 +82,7 @@ func main() {
 	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
 	faultExp := flag.String("fault", "", "fault/RAS experiment: sweep (fault-rate x architecture), degraded (v-channel kill + grant drops), all")
 	quick := flag.Bool("quick", false, "small runs for a fast smoke pass")
+	checkFlag := flag.Bool("check", false, "attach the invariant checker to every run (panics on violation)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "workload seed")
 	reqs := flag.Int("requests", 0, "override trace request count")
@@ -102,6 +104,13 @@ func main() {
 	}
 	if *reqs > 0 {
 		opt.TraceRequests = *reqs
+	}
+	if *checkFlag {
+		if opt.Cfg == nil {
+			c := ssd.ScaledConfig()
+			opt.Cfg = &c
+		}
+		opt.Cfg.Check = &check.Config{}
 	}
 
 	if *traceOut != "" || *metricsOut != "" {

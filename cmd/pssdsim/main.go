@@ -1,21 +1,24 @@
 // Command pssdsim runs one SSD simulation: pick an architecture, a
 // workload (named preset, trace CSV file, or synthetic pattern), a GC
 // mode, and get the latency/throughput report. -trace writes a Chrome
-// trace-event JSON (open in Perfetto) and -metrics-json a machine-
-// readable run summary.
+// trace-event JSON (open in Perfetto), -metrics-json a machine-
+// readable run summary, and -check attaches the cross-layer invariant
+// checker (page conservation, bus legality, leak detection at drain).
 //
 //	go run ./cmd/pssdsim -arch pnssd+split -preset rocksdb-0 -gc spgc
 //	go run ./cmd/pssdsim -arch pssd -synthetic rand-read -outstanding 32
 //	go run ./cmd/pssdsim -arch base -tracefile mytrace.csv
-//	go run ./cmd/pssdsim -arch pnssd+split -gc spgc -trace out.json -metrics-json run.json
+//	go run ./cmd/pssdsim -arch pnssd+split -gc spgc -check -trace out.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/ftl"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -42,36 +45,49 @@ var gcNames = map[string]ftl.GCMode{
 }
 
 func main() {
-	archFlag := flag.String("arch", "pnssd+split", "architecture: base, nossd-pin, nossd-free, pssd, pnssd, pnssd+split")
-	preset := flag.String("preset", "", "named workload preset (see -list)")
-	traceFile := flag.String("tracefile", "", "replay a trace CSV (arrival_ps,op,lpn,pages)")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file (open in Perfetto)")
-	metricsOut := flag.String("metrics-json", "", "write the machine-readable run summary JSON to this file")
-	synth := flag.String("synthetic", "", "closed-loop pattern: seq-read, seq-write, rand-read, rand-write")
-	outstanding := flag.Int("outstanding", 16, "outstanding I/Os for synthetic runs")
-	requests := flag.Int("requests", 2000, "request count")
-	gcFlag := flag.String("gc", "none", "GC mode: none, pagc, preemptive, spgc")
-	policy := flag.String("policy", "pcwd", "page allocation policy: pcwd, pwcd")
-	seed := flag.Int64("seed", 1, "workload seed")
-	full := flag.Bool("full", false, "full Table II geometry (slow); default is the scaled geometry")
-	list := flag.Bool("list", false, "list named traces and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole binary behind a testable seam: parse args, simulate,
+// and print to stdout. The golden-output test drives it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pssdsim", flag.ContinueOnError)
+	archFlag := fs.String("arch", "pnssd+split", "architecture: base, nossd-pin, nossd-free, pssd, pnssd, pnssd+split")
+	preset := fs.String("preset", "", "named workload preset (see -list)")
+	traceFile := fs.String("tracefile", "", "replay a trace CSV (arrival_ps,op,lpn,pages)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON to this file (open in Perfetto)")
+	metricsOut := fs.String("metrics-json", "", "write the machine-readable run summary JSON to this file")
+	synth := fs.String("synthetic", "", "closed-loop pattern: seq-read, seq-write, rand-read, rand-write")
+	outstanding := fs.Int("outstanding", 16, "outstanding I/Os for synthetic runs")
+	requests := fs.Int("requests", 2000, "request count")
+	gcFlag := fs.String("gc", "none", "GC mode: none, pagc, preemptive, spgc")
+	policy := fs.String("policy", "pcwd", "page allocation policy: pcwd, pwcd")
+	seed := fs.Int64("seed", 1, "workload seed")
+	full := fs.Bool("full", false, "full Table II geometry (slow); default is the scaled geometry")
+	checkFlag := fs.Bool("check", false, "attach the invariant checker and verify the run at drain")
+	list := fs.Bool("list", false, "list named traces and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, name := range workload.Names() {
 			why, _ := workload.Describe(name)
-			fmt.Printf("%-12s %s\n", name, why)
+			fmt.Fprintf(stdout, "%-12s %s\n", name, why)
 		}
-		return
+		return nil
 	}
 
 	arch, ok := archNames[strings.ToLower(*archFlag)]
 	if !ok {
-		fatalf("unknown architecture %q", *archFlag)
+		return fmt.Errorf("unknown architecture %q", *archFlag)
 	}
 	gc, ok := gcNames[strings.ToLower(*gcFlag)]
 	if !ok {
-		fatalf("unknown GC mode %q", *gcFlag)
+		return fmt.Errorf("unknown GC mode %q", *gcFlag)
 	}
 
 	cfg := ssd.ScaledConfig()
@@ -85,7 +101,7 @@ func main() {
 	case "pwcd":
 		cfg.FTL.Policy = ftl.PWCD
 	default:
-		fatalf("unknown policy %q", *policy)
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	if gc != ftl.GCNone {
 		cfg.LogicalUtilization = 0.75
@@ -93,11 +109,14 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		cfg.Trace = &trace.Config{}
 	}
+	if *checkFlag {
+		cfg.Check = &check.Config{}
+	}
 
 	s := ssd.New(arch, cfg)
 	foot := s.Config.LogicalPages()
-	fmt.Printf("architecture: %s (%s)\n", arch, arch.Describe())
-	fmt.Printf("device: %d chips, %d logical pages (%d MB), GC=%s, policy=%s\n",
+	fmt.Fprintf(stdout, "architecture: %s (%s)\n", arch, arch.Describe())
+	fmt.Fprintf(stdout, "device: %d chips, %d logical pages (%d MB), GC=%s, policy=%s\n",
 		s.Grid.NumChips(), foot, foot*int64(cfg.Geometry.PageSize)/(1<<20), gc, cfg.FTL.Policy)
 
 	s.Host.Warmup(foot)
@@ -114,24 +133,24 @@ func main() {
 		case "rand-write":
 			p = workload.RandWrite
 		default:
-			fatalf("unknown synthetic pattern %q", *synth)
+			return fmt.Errorf("unknown synthetic pattern %q", *synth)
 		}
-		fmt.Printf("workload: synthetic %s, %d outstanding, %d requests\n", p, *outstanding, *requests)
+		fmt.Fprintf(stdout, "workload: synthetic %s, %d outstanding, %d requests\n", p, *outstanding, *requests)
 		s.Host.RunClosedLoop(workload.Synthetic(p, foot, 4, *seed), *outstanding, *requests)
 	case *traceFile != "":
 		fh, err := os.Open(*traceFile)
 		if err != nil {
-			fatalf("open trace: %v", err)
+			return fmt.Errorf("open trace: %v", err)
 		}
 		tr, err := workload.ReadCSV(fh, *traceFile)
 		fh.Close()
 		if err != nil {
-			fatalf("parse trace: %v", err)
+			return fmt.Errorf("parse trace: %v", err)
 		}
 		if tr.Footprint > foot {
-			fatalf("trace footprint %d exceeds device logical pages %d", tr.Footprint, foot)
+			return fmt.Errorf("trace footprint %d exceeds device logical pages %d", tr.Footprint, foot)
 		}
-		fmt.Printf("workload: trace file %s, %d requests\n", *traceFile, len(tr.Requests))
+		fmt.Fprintf(stdout, "workload: trace file %s, %d requests\n", *traceFile, len(tr.Requests))
 		s.Host.Replay(tr.Requests)
 	default:
 		name := *preset
@@ -140,42 +159,53 @@ func main() {
 		}
 		tr, err := workload.Named(name, foot, *requests, *seed)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		reads, writes, frac := tr.Mix()
-		fmt.Printf("workload: %s (%d reads / %d writes, %.0f%% read), duration %v\n",
+		fmt.Fprintf(stdout, "workload: %s (%d reads / %d writes, %.0f%% read), duration %v\n",
 			name, reads, writes, frac*100, tr.Duration())
 		s.Host.Replay(tr.Requests)
 	}
 
-	end := s.Run()
-	printReport(s, end)
+	// Engine.Run plus an explicit verify so a violation surfaces as a
+	// clean error instead of SSD.Run's panic.
+	end := s.Engine.Run()
+	if s.Checker.Enabled() {
+		if err := s.VerifyInvariants(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "invariants: %d checks, 0 violations\n", s.Checker.Checks())
+	}
+	if err := printReport(stdout, s, end); err != nil {
+		return err
+	}
 
 	if *traceOut != "" {
 		fh, err := os.Create(*traceOut)
 		if err != nil {
-			fatalf("create trace file: %v", err)
+			return fmt.Errorf("create trace file: %v", err)
 		}
 		if err := s.Tracer.ExportChrome(fh); err != nil {
-			fatalf("write trace: %v", err)
+			return fmt.Errorf("write trace: %v", err)
 		}
 		fh.Close()
-		fmt.Printf("trace: %d events -> %s (open in https://ui.perfetto.dev)\n", s.Tracer.Events(), *traceOut)
+		fmt.Fprintf(stdout, "trace: %d events -> %s (open in https://ui.perfetto.dev)\n", s.Tracer.Events(), *traceOut)
 	}
 	if *metricsOut != "" {
 		fh, err := os.Create(*metricsOut)
 		if err != nil {
-			fatalf("create metrics file: %v", err)
+			return fmt.Errorf("create metrics file: %v", err)
 		}
 		if err := s.WriteSummaryJSON(fh); err != nil {
-			fatalf("write metrics: %v", err)
+			return fmt.Errorf("write metrics: %v", err)
 		}
 		fh.Close()
-		fmt.Printf("metrics: %s\n", *metricsOut)
+		fmt.Fprintf(stdout, "metrics: %s\n", *metricsOut)
 	}
+	return nil
 }
 
-func printReport(s *ssd.SSD, end sim.Time) {
+func printReport(stdout io.Writer, s *ssd.SSD, end sim.Time) error {
 	m := s.Metrics()
 	comb := m.Combined()
 	t := report.New("\nResults", "metric", "value")
@@ -195,19 +225,20 @@ func printReport(s *ssd.SSD, end sim.Time) {
 	}
 	t.Add("sysbus busy", s.Soc.SysBusBusy().String())
 	t.Add("dram busy", s.Soc.DramBusy().String())
-	fmt.Println(t.String())
-	printHeatmap(s, end)
+	fmt.Fprintln(stdout, t.String())
+	printHeatmap(stdout, s, end)
 	if err := s.FTL.CheckConsistency(); err != nil {
-		fatalf("FTL consistency check failed: %v", err)
+		return fmt.Errorf("FTL consistency check failed: %v", err)
 	}
-	fmt.Println("FTL mapping consistency: OK")
+	fmt.Fprintln(stdout, "FTL mapping consistency: OK")
+	return nil
 }
 
 // printHeatmap renders the per-bus utilization timelines as a shade-rune
 // heat table (the textual Fig 3), one row per h- and v-channel. It needs
 // the trace recorder's fixed-window timelines, so it renders only when
 // tracing is enabled.
-func printHeatmap(s *ssd.SSD, end sim.Time) {
+func printHeatmap(stdout io.Writer, s *ssd.SSD, end sim.Time) {
 	if !s.Tracer.Enabled() {
 		return
 	}
@@ -224,11 +255,6 @@ func printHeatmap(s *ssd.SSD, end sim.Time) {
 		}
 	}
 	if len(t.Rows) > 0 {
-		fmt.Println(t.String())
+		fmt.Fprintln(stdout, t.String())
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from this run")
+
+// The CLI smoke test: one full deterministic run — scaled pnSSD+split
+// device, spatial GC, invariant checker attached — compared byte for
+// byte against the committed transcript. Any behavior drift in the
+// simulator, the report formatting, or the checker wiring shows up as
+// a golden diff.
+func TestGoldenOutput(t *testing.T) {
+	args := []string{"-arch", "pnssd+split", "-preset", "rocksdb-0", "-gc", "spgc", "-requests", "300", "-seed", "7", "-check"}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	const golden = "testdata/golden_rocksdb0_spgc.txt"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (rerun with -update to accept):\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+	if !strings.Contains(buf.String(), "0 violations") {
+		t.Error("checked run did not report zero violations")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rocksdb-0", "exchange-1", "web-0"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing preset %s", name)
+		}
+	}
+}
+
+func TestBadFlagsReturnErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-arch", "bogus"},
+		{"-gc", "bogus"},
+		{"-policy", "bogus"},
+		{"-synthetic", "bogus"},
+		{"-preset", "bogus", "-requests", "10"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

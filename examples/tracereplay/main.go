@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -14,35 +15,44 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer) error {
 	cfg := ssd.ScaledConfig()
 	foot := cfg.LogicalPages()
 
 	// 1. Generate a skewed read-mostly trace and persist it as CSV.
 	tr, err := workload.Named("web-0", foot, 1500, 99)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	path := filepath.Join(os.TempDir(), "web0-example.csv")
 	fh, err := os.Create(path)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	if err := workload.WriteCSV(fh, tr); err != nil {
-		panic(err)
+		fh.Close()
+		return err
 	}
 	fh.Close()
+	defer os.Remove(path)
 	reads, writes, frac := tr.Mix()
-	fmt.Printf("wrote %s: %d requests (%d R / %d W, %.0f%% reads)\n\n", path, len(tr.Requests), reads, writes, frac*100)
+	fmt.Fprintf(stdout, "wrote %s: %d requests (%d R / %d W, %.0f%% reads)\n\n", path, len(tr.Requests), reads, writes, frac*100)
 
 	// 2. Read it back, exactly as an external trace would arrive.
 	fh, err = os.Open(path)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	replayed, err := workload.ReadCSV(fh, "web-0")
 	fh.Close()
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	// 3. Replay on two architectures and compare.
@@ -51,9 +61,12 @@ func main() {
 		device.Host.Warmup(foot)
 		completed := device.Host.Replay(replayed.Requests)
 		device.Run()
+		if *completed != len(replayed.Requests) {
+			return fmt.Errorf("%v: completed %d of %d requests", arch, *completed, len(replayed.Requests))
+		}
 		m := device.Metrics()
-		fmt.Printf("%-16s completed=%d mean=%v p99=%v %.1f KIOPS\n",
+		fmt.Fprintf(stdout, "%-16s completed=%d mean=%v p99=%v %.1f KIOPS\n",
 			arch, *completed, m.MeanLatency(), m.Combined().P99(), m.KIOPS())
 	}
-	os.Remove(path)
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke test: the example must build, complete both replays, and print
+// a result line per architecture. It exercises the full CSV round trip
+// (write, re-read, replay) that the example demonstrates.
+func TestExampleRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wrote ", "1500 requests", "base", "pnSSD(+split)", "completed=1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -115,6 +115,10 @@ func (c *Channel) SetUtilRecorder(u *sim.UtilRecorder) { c.res.SetUtilRecorder(u
 // (the tracing hook); nil detaches.
 func (c *Channel) SetObserver(o sim.ResourceObserver) { c.res.SetObserver(o) }
 
+// AddObserver attaches an additional observer alongside any already
+// installed (the invariant-checking hook).
+func (c *Channel) AddObserver(o sim.ResourceObserver) { c.res.AddObserver(o) }
+
 // TotalBusy returns cumulative occupancy.
 func (c *Channel) TotalBusy() sim.Time { return c.res.TotalBusy() }
 

@@ -1,0 +1,218 @@
+// Package prop is the property-based validation harness for the
+// invariant checker: it derives randomized device configurations and
+// workloads from a single seed, runs each one with the full checker
+// attached, and exposes the results so tests can assert the two global
+// properties — every generated configuration finishes with zero
+// invariant violations, and a seed reproduces its results byte for
+// byte regardless of how many runner workers execute the cases.
+package prop
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/fault"
+	"repro/internal/ftl"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// Case is one randomized configuration drawn by Generate. Every field
+// that shapes the run is explicit so a failing case can be reproduced
+// (and minimized) from its printed value alone.
+type Case struct {
+	Index    int
+	Seed     uint64
+	Arch     ssd.Arch
+	Channels int
+	Ways     int
+	Planes   int
+	Blocks   int // per plane
+	Pages    int // per block
+	BusMTps  int
+
+	GCMode      ftl.GCMode
+	GCThreshold float64
+	Victim      ftl.VictimPolicy
+	Utilization float64
+
+	Faulty   bool
+	Trace    string
+	Requests int
+}
+
+// String renders the case compactly for failure messages.
+func (c Case) String() string {
+	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d",
+		c.Index, c.Seed, c.Arch, c.Channels, c.Ways, c.Planes, c.Blocks, c.Pages,
+		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests)
+}
+
+// rng is a splitmix64 stream: tiny, seedable, and stable across Go
+// releases — unlike math/rand, whose algorithm the standard library is
+// free to change under us.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func pickInt(r *rng, opts ...int) int { return opts[r.intn(len(opts))] }
+
+// Generate draws n cases from the seed. The same (seed, n) always
+// yields the same slice. The space deliberately skews small: whole
+// devices of a few hundred pages so a case runs in milliseconds, with
+// GC always enabled (the checker's interesting invariants all live
+// behind collection) and fault injection on roughly half the cases.
+func Generate(seed uint64, n int) []Case {
+	r := &rng{s: seed ^ 0x6a09e667f3bcc909}
+	traces := workload.Names()
+	gcModes := []ftl.GCMode{ftl.GCParallel, ftl.GCPreemptive, ftl.GCSpatial}
+	victims := []ftl.VictimPolicy{ftl.VictimGreedy, ftl.VictimCostBenefit}
+	cases := make([]Case, n)
+	for i := range cases {
+		blocks := pickInt(r, 6, 8, 12)
+		planes := pickInt(r, 1, 2)
+		faulty := r.intn(2) == 1
+		// Feasibility cap: each plane permanently consumes ~2.5 blocks of
+		// slack (host-active block, open GC destination, and the global
+		// one-block-per-chip reserve), and forced retirement faults eat up
+		// to two more blocks per chip for good. A utilization that leaves
+		// less than that pushes the device past its compaction limit — GC
+		// cycles 100%-valid blocks forever and stalled writes never drain.
+		// That's an infeasible device, not a simulator bug, so the
+		// generator stays on the feasible side.
+		eff := float64(blocks)
+		if faulty && blocks >= 8 {
+			eff -= 2 / float64(planes)
+		}
+		// Utilization is a fraction of *raw* capacity, so the cap compares
+		// against post-retirement blocks: valid data plus ~3.5 slack blocks
+		// per plane (host-active, GC destination, reserve share, and margin
+		// for uniform-garbage traces where GC reclaim is least efficient)
+		// must fit in eff.
+		util := 0.45 + 0.05*float64(r.intn(4))
+		if max := (eff - 3.5) / float64(blocks); util > max {
+			util = 0.05 * float64(int(max/0.05))
+		}
+		cases[i] = Case{
+			Index:       i,
+			Seed:        r.next(),
+			Arch:        ssd.Archs[r.intn(len(ssd.Archs))],
+			Channels:    pickInt(r, 2, 4),
+			Ways:        pickInt(r, 2, 4),
+			Planes:      planes,
+			Blocks:      blocks,
+			Pages:       pickInt(r, 8, 16),
+			BusMTps:     pickInt(r, 800, 1000),
+			GCMode:      gcModes[r.intn(len(gcModes))],
+			GCThreshold: 0.2 + 0.05*float64(r.intn(5)),
+			Victim:      victims[r.intn(len(victims))],
+			Utilization: util,
+			Faulty:      faulty,
+			Trace:       traces[r.intn(len(traces))],
+			Requests:    100 + 50*r.intn(5),
+		}
+	}
+	return cases
+}
+
+// Config expands the case into a full device configuration with the
+// invariant checker enabled.
+func (c Case) Config() ssd.Config {
+	cfg := ssd.DefaultConfig()
+	cfg.Channels = c.Channels
+	cfg.Ways = c.Ways
+	cfg.Geometry.Planes = c.Planes
+	cfg.Geometry.BlocksPerPlane = c.Blocks
+	cfg.Geometry.PagesPerBlock = c.Pages
+	cfg.Geometry.PageSize = 4096
+	cfg.BusMTps = c.BusMTps
+	cfg.FTL.GCMode = c.GCMode
+	cfg.FTL.GCThreshold = c.GCThreshold
+	cfg.FTL.Victim = c.Victim
+	cfg.LogicalUtilization = c.Utilization
+	if c.Faulty {
+		cfg.Fault = &fault.Config{
+			Seed:          c.Seed,
+			ReadECCRate:   0.01,
+			OnDieECCRate:  0.01,
+			GrantDropRate: 0.02,
+		}
+		// Retirement faults permanently shrink capacity; only devices with
+		// blocks to spare take them (mirrors the generator's eff cap).
+		if c.Blocks >= 8 {
+			cfg.Fault.ProgramFailsPerChip = 1
+			cfg.Fault.EraseFailsPerChip = 1
+		}
+	}
+	cfg.Check = &check.Config{}
+	return cfg
+}
+
+// Result is one case's outcome: the run summary (the determinism
+// witness), the checker's tallies, and any failure.
+type Result struct {
+	Case       Case
+	Summary    []byte
+	Checks     int64
+	Violations []check.Violation
+	Err        error
+}
+
+// Run executes one case to drain and verifies every invariant. The
+// returned Result carries the violation list even when Err is set so
+// callers can print both.
+func Run(c Case) Result {
+	cfg := c.Config()
+	s := ssd.New(c.Arch, cfg)
+	foot := cfg.LogicalPages()
+	s.Host.Warmup(foot)
+	tr, err := workload.Named(c.Trace, foot, c.Requests, int64(c.Seed>>1))
+	if err != nil {
+		return Result{Case: c, Err: err}
+	}
+	completed := s.Host.Replay(tr.Requests)
+	// Engine.RunUntil, not SSD.Run: a violating case should come back as
+	// a Result rather than a panic, and the horizon (generous — generated
+	// workloads drain in well under 100 simulated ms) turns a livelocked
+	// device into a clean liveness failure instead of a wall-clock hang.
+	s.Engine.RunUntil(2 * sim.Second)
+	res := Result{Case: c, Checks: s.Checker.Checks(), Violations: s.Checker.Violations()}
+	if s.Engine.Pending() != 0 {
+		res.Err = fmt.Errorf("%v: %d events still pending at the 2s horizon — livelock", c, s.Engine.Pending())
+		return res
+	}
+	if *completed != len(tr.Requests) {
+		res.Err = fmt.Errorf("%v: completed %d of %d requests", c, *completed, len(tr.Requests))
+		return res
+	}
+	if err := s.VerifyInvariants(); err != nil {
+		res.Violations = s.Checker.Violations()
+		res.Err = fmt.Errorf("%v: %w", c, err)
+		return res
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSummaryJSON(&buf); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Summary = buf.Bytes()
+	return res
+}
+
+// RunAll executes the cases on the shared experiment runner with the
+// given worker count and returns results in case order — the order (and
+// every byte of every summary) must not depend on parallelism.
+func RunAll(cases []Case, parallel int) []Result {
+	return runner.Map(parallel, len(cases), func(i int) Result { return Run(cases[i]) })
+}

@@ -1,0 +1,96 @@
+package prop
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(42, 20)
+	b := Generate(42, 20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate(42, 20) differs between calls")
+	}
+	c := Generate(43, 20)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical cases")
+	}
+}
+
+// Case.String is the reproduction handle printed on every failure; it
+// must carry the seed and be distinct per case.
+func TestCaseStringCarriesSeed(t *testing.T) {
+	cases := Generate(5, 2)
+	if !strings.Contains(cases[0].String(), "seed=") {
+		t.Fatalf("case string %q missing seed", cases[0])
+	}
+	if cases[0].String() == cases[1].String() {
+		t.Fatal("distinct cases render identically")
+	}
+}
+
+// A case naming an unknown trace must come back as a Result error, not a
+// panic — Run is the harness's failure boundary.
+func TestRunRejectsUnknownTrace(t *testing.T) {
+	c := Generate(5, 1)[0]
+	c.Trace = "no-such-trace"
+	if res := Run(c); res.Err == nil {
+		t.Fatal("Run accepted an unknown trace")
+	}
+}
+
+// The zero-violation property: every configuration the generator can
+// draw — any architecture, geometry, GC mode, victim policy, and fault
+// cocktail — finishes its workload with the full invariant checker
+// attached and nothing to report. CI runs this with -race and a fixed
+// seed.
+func TestPropertyZeroViolations(t *testing.T) {
+	for _, res := range RunAll(Generate(1, 10), 4) {
+		if res.Err != nil {
+			t.Errorf("%v\nviolations: %v", res.Err, res.Violations)
+			continue
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("%v: %d violations: %v", res.Case, len(res.Violations), res.Violations)
+		}
+		if res.Checks == 0 {
+			t.Errorf("%v: checker asserted nothing", res.Case)
+		}
+	}
+}
+
+// The determinism property: a seed reproduces its results byte for byte
+// whether the cases run sequentially or spread across runner workers.
+func TestPropertyDeterministicAcrossParallelism(t *testing.T) {
+	cases := Generate(7, 6)
+	serial := RunAll(cases, 1)
+	fanned := RunAll(cases, 4)
+	for i := range cases {
+		if serial[i].Err != nil || fanned[i].Err != nil {
+			t.Fatalf("%v: serial err %v, parallel err %v", cases[i], serial[i].Err, fanned[i].Err)
+		}
+		if !bytes.Equal(serial[i].Summary, fanned[i].Summary) {
+			t.Errorf("%v: summary differs between -parallel 1 and 4:\n%s\nvs\n%s",
+				cases[i], serial[i].Summary, fanned[i].Summary)
+		}
+		if serial[i].Checks != fanned[i].Checks {
+			t.Errorf("%v: check count differs: %d vs %d", cases[i], serial[i].Checks, fanned[i].Checks)
+		}
+	}
+}
+
+// A single case rerun from its own value reproduces itself — the
+// shrink-and-replay workflow a failing property run depends on.
+func TestPropertyCaseReplay(t *testing.T) {
+	c := Generate(99, 3)[2]
+	r1 := Run(c)
+	r2 := Run(c)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("replay errs: %v / %v", r1.Err, r2.Err)
+	}
+	if !bytes.Equal(r1.Summary, r2.Summary) {
+		t.Fatalf("%v: replay summary differs", c)
+	}
+}

@@ -1,0 +1,17 @@
+package prop
+
+import "testing"
+
+// A broad sweep across generator seeds: every case from every seed must
+// drain, verify, and stay inside the feasibility envelope. This is the
+// guard that keeps a future generator change from drawing configurations
+// past the device's compaction limit.
+func TestStressManySeeds(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for _, res := range RunAll(Generate(seed, 10), 8) {
+			if res.Err != nil {
+				t.Errorf("seed %d: %v", seed, res.Err)
+			}
+		}
+	}
+}

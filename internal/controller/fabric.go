@@ -142,6 +142,20 @@ func (s *Soc) SetObserver(o sim.ResourceObserver) {
 	s.dram.SetObserver(o)
 }
 
+// AddObserver attaches an additional observer to the system bus and DRAM
+// resources (the invariant-checking hook), alongside any tracing observer.
+func (s *Soc) AddObserver(o sim.ResourceObserver) {
+	s.sysBus.AddObserver(o)
+	s.dram.AddObserver(o)
+}
+
+// Idle reports whether both SoC resources are idle with empty queues — a
+// drained-device invariant.
+func (s *Soc) Idle() bool {
+	return !s.sysBus.Busy() && s.sysBus.QueueLen() == 0 &&
+		!s.dram.Busy() && s.dram.QueueLen() == 0
+}
+
 // CtrlMsg delivers a control-plane message between two channel
 // controllers after the SoC interconnect latency.
 func (s *Soc) CtrlMsg(fn func()) { s.eng.Schedule(s.ctrlMsgDelay, fn) }

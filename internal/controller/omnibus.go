@@ -58,6 +58,10 @@ type OmnibusFabric struct {
 	// instants; nil (the default) disables tracing with no overhead.
 	trc *trace.Recorder
 
+	// check receives routing decisions for GC copies; nil (the default)
+	// disables checking with no overhead.
+	check CopyChecker
+
 	// counters for reports and tests
 	hReturns, vReturns, splitReturns int64
 	directCopies, relayedCopies      int64
@@ -177,6 +181,18 @@ func (f *OmnibusFabric) SetAdaptive(on bool) {
 // SetTracer attaches a trace recorder for control-plane spans and
 // routing-decision instants; nil (the default) detaches.
 func (f *OmnibusFabric) SetTracer(t *trace.Recorder) { f.trc = t }
+
+// CopyChecker receives one notification per GC copy when its route is
+// decided: direct reports whether the copy takes the flash-to-flash
+// v-channel path (true) or the controller-relayed h-channel path (false).
+// The invariant checker uses it to assert that direct copies stay within
+// one v-channel column.
+type CopyChecker interface {
+	CopyRouted(src, dst ChipID, direct bool)
+}
+
+// SetChecker attaches a copy-route checker; nil (the default) detaches.
+func (f *OmnibusFabric) SetChecker(c CopyChecker) { f.check = c }
 
 // SetFaultInjector attaches the shared fault injector. Nil detaches it.
 func (f *OmnibusFabric) SetFaultInjector(inj *fault.Injector) { f.faults = inj }
@@ -401,6 +417,9 @@ func (f *OmnibusFabric) Erase(id ChipID, blocks []flash.PPA, done func()) {
 func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PPA, done func()) {
 	if f.vIndex(src.Way) != f.vIndex(dst.Way) {
 		f.relayedCopies++
+		if f.check != nil {
+			f.check.CopyRouted(src, dst, false)
+		}
 		f.relayCopy(src, from, dst, to, done)
 		return
 	}
@@ -412,6 +431,9 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 			r.DeadVCopies++
 		}
 		f.relayedCopies++
+		if f.check != nil {
+			f.check.CopyRouted(src, dst, false)
+		}
 		f.relayCopy(src, from, dst, to, done)
 		return
 	}
@@ -424,6 +446,9 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 			r.OnDieECCFallbacks++
 		}
 		f.relayedCopies++
+		if f.check != nil {
+			f.check.CopyRouted(src, dst, false)
+		}
 		f.relayCopy(src, from, dst, to, done)
 		return
 	}
@@ -456,6 +481,9 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 				if attempts > cfg.GrantRetryMax {
 					ras.CopyFailovers++
 					f.relayedCopies++
+					if f.check != nil {
+						f.check.CopyRouted(src, dst, false)
+					}
 					f.trc.EndSpan(grantSpan)
 					f.relayCopy(src, from, dst, to, done)
 					return
@@ -472,6 +500,9 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 				}
 				f.soc.CtrlMsg(func() { // grant back to source ctrl
 					f.directCopies++
+					if f.check != nil {
+						f.check.CopyRouted(src, dst, true)
+					}
 					f.trc.EndSpan(grantSpan)
 					fin := done
 					if f.trc.Enabled() {

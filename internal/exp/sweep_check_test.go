@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/ssd"
+)
+
+// checkedOpts returns shrunken Quick options with the invariant checker
+// attached to every SSD the sweeps build. The sweeps call s.Run(), which
+// panics on any violation and verifies the full invariant set at drain —
+// so simply completing these tests certifies the sweep workloads clean.
+func checkedOpts() Options {
+	opt := Quick()
+	opt.Cfg.Check = &check.Config{}
+	opt.TraceRequests = 250
+	opt.SyntheticRequests = 60
+	opt.Traces = []string{"rocksdb-0"}
+	return opt
+}
+
+func TestContentionUnderChecker(t *testing.T) {
+	rows := Contention(checkedOpts())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	seen := map[ssd.Arch]bool{}
+	for _, r := range rows {
+		if seen[r.Arch] {
+			t.Fatalf("%v appears twice", r.Arch)
+		}
+		seen[r.Arch] = true
+		if r.MeanLatency <= 0 {
+			t.Errorf("%v: mean latency %v not positive", r.Arch, r.MeanLatency)
+		}
+		if r.HMaxWait < r.HMeanWait {
+			t.Errorf("%v: max wait %v below mean wait %v", r.Arch, r.HMaxWait, r.HMeanWait)
+		}
+		if r.BusiestUtil < 0 || r.BusiestUtil > 1 {
+			t.Errorf("%v: utilization %v outside [0,1]", r.Arch, r.BusiestUtil)
+		}
+	}
+}
+
+func TestIOSweepsUnderChecker(t *testing.T) {
+	opt := checkedOpts()
+
+	f3 := Fig3(opt)
+	if len(f3.ReadRows) != opt.Cfg.Channels || len(f3.WriteRows) != opt.Cfg.Channels {
+		t.Fatalf("Fig3: %d/%d channel rows, want %d", len(f3.ReadRows), len(f3.WriteRows), opt.Cfg.Channels)
+	}
+	if f3.ReadImbalance <= f3.WriteImbalance {
+		t.Errorf("Fig3: read imbalance %.2f not above write imbalance %.2f", f3.ReadImbalance, f3.WriteImbalance)
+	}
+
+	f4 := Fig4(opt)
+	if len(f4) != len(opt.Traces) {
+		t.Fatalf("Fig4: %d rows, want %d", len(f4), len(opt.Traces))
+	}
+	for _, r := range f4 {
+		if r.Speedup[1.0] != 1.0 {
+			t.Errorf("Fig4 %s: self speedup %.2f != 1", r.Trace, r.Speedup[1.0])
+		}
+		if r.Speedup[2.0] < 1.0 {
+			t.Errorf("Fig4 %s: 2x bandwidth slowed things down (%.2f)", r.Trace, r.Speedup[2.0])
+		}
+	}
+
+	f14 := Fig14(opt)
+	if len(f14) != len(opt.Traces) {
+		t.Fatalf("Fig14: %d rows, want %d", len(f14), len(opt.Traces))
+	}
+	for _, r := range f14 {
+		if len(r.Latency) != len(ssd.Archs) || len(r.KIOPS) != len(ssd.Archs) {
+			t.Fatalf("Fig14 %s: %d/%d arch entries, want %d", r.Trace, len(r.Latency), len(r.KIOPS), len(ssd.Archs))
+		}
+		if r.Improvement[ssd.ArchBase] != 0 {
+			t.Errorf("Fig14 %s: baseline improvement %.3f != 0", r.Trace, r.Improvement[ssd.ArchBase])
+		}
+	}
+}
+
+func TestGCSweepsUnderChecker(t *testing.T) {
+	opt := checkedOpts()
+
+	f18 := Fig18(opt)
+	if len(f18) != len(Fig18Configs) {
+		t.Fatalf("Fig18: %d rows, want %d", len(f18), len(Fig18Configs))
+	}
+	if f18[0].ReadImprovement != 0 || f18[0].WriteImprovement != 0 {
+		t.Errorf("Fig18: baseline improvements %.3f/%.3f != 0", f18[0].ReadImprovement, f18[0].WriteImprovement)
+	}
+	for _, r := range f18 {
+		if r.ReadLatency <= 0 || r.WriteLatency <= 0 {
+			t.Errorf("Fig18 %s: non-positive latency %v/%v", r.Config.Label(), r.ReadLatency, r.WriteLatency)
+		}
+	}
+
+	f19 := Fig19(opt)
+	if len(f19) != len(opt.Traces) {
+		t.Fatalf("Fig19: %d rows, want %d", len(f19), len(opt.Traces))
+	}
+	base := Fig19Configs[0].Label()
+	for _, r := range f19 {
+		if len(r.Latency) != len(Fig19Configs) {
+			t.Fatalf("Fig19 %s: %d configs, want %d", r.Trace, len(r.Latency), len(Fig19Configs))
+		}
+		if r.Improvement[base] != 0 {
+			t.Errorf("Fig19 %s: baseline improvement %.3f != 0", r.Trace, r.Improvement[base])
+		}
+	}
+
+	f20a := Fig20a(opt)
+	if len(f20a) != len(Fig20aConfigs) {
+		t.Fatalf("Fig20a: %d rows, want %d", len(f20a), len(Fig20aConfigs))
+	}
+	for _, r := range f20a {
+		// Percentiles of one distribution must be monotone.
+		if !(r.P50 <= r.P90 && r.P90 <= r.P99 && r.P99 <= r.P999 && r.P999 <= r.Max) {
+			t.Errorf("Fig20a %s: percentiles not monotone: %v %v %v %v %v",
+				r.Config.Label(), r.P50, r.P90, r.P99, r.P999, r.Max)
+		}
+		if len(r.CDF) == 0 {
+			t.Errorf("Fig20a %s: empty CDF", r.Config.Label())
+		}
+	}
+
+	f20b := Fig20b(opt)
+	if len(f20b) != len(Fig20aConfigs) {
+		t.Fatalf("Fig20b: %d rows, want %d", len(f20b), len(Fig20aConfigs))
+	}
+	for _, r := range f20b {
+		if r.Rounds <= 0 {
+			t.Errorf("Fig20b %s: no GC rounds recorded", r.Config.Label())
+		}
+		if r.Rounds > 0 && r.MeanGCTime <= 0 {
+			t.Errorf("Fig20b %s: %d rounds but zero mean GC time", r.Config.Label(), r.Rounds)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/ssd"
+)
+
+// TracedRun backs the -trace/-metrics-json flags and the CI trace smoke
+// step; this covers it in-process: both exports must be valid JSON and
+// agree with the returned metrics.
+func TestTracedRunExports(t *testing.T) {
+	opt := Quick()
+	opt.TraceRequests = 200
+	var traceBuf, sumBuf bytes.Buffer
+	m, err := TracedRun(opt, ssd.ArchPnSSDSplit, ftl.GCSpatial, "rocksdb-0", &traceBuf, &sumBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalRequests() != int64(opt.TraceRequests) {
+		t.Fatalf("metrics recorded %d requests, want %d", m.TotalRequests(), opt.TraceRequests)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+	var sum map[string]any
+	if err := json.Unmarshal(sumBuf.Bytes(), &sum); err != nil {
+		t.Fatalf("summary export is not valid JSON: %v", err)
+	}
+	if reqs, _ := sum["requests"].(float64); int64(reqs) != m.TotalRequests() {
+		t.Fatalf("summary requests %v disagrees with metrics %d", sum["requests"], m.TotalRequests())
+	}
+}
+
+func TestAblationVictimPolicy(t *testing.T) {
+	opt := Quick()
+	opt.TraceRequests = 250
+	rows := AblationVictimPolicy(opt)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Latency <= 0 {
+			t.Fatalf("%s: zero latency", r.Name)
+		}
+		if r.Detail == "" {
+			t.Fatalf("%s: missing copy-cost detail", r.Name)
+		}
+	}
+}

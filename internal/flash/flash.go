@@ -191,9 +191,25 @@ func (c *Chip) SetFaults(inj *fault.Injector, key uint64) {
 // operation, labeled read/program/erase.
 func (c *Chip) SetObserver(o sim.ResourceObserver) { c.die.SetObserver(o) }
 
+// AddObserver attaches an additional observer to the die resource (the
+// invariant-checking hook), alongside any tracing observer.
+func (c *Chip) AddObserver(o sim.ResourceObserver) { c.die.AddObserver(o) }
+
 // DieName returns the die resource's diagnostic name (the trace track
 // name for this chip's array operations).
 func (c *Chip) DieName() string { return c.die.Name() }
+
+// VPagesHeld counts V-page registers currently claimed — nonzero after a
+// drained run indicates a leaked register from an abandoned copy.
+func (c *Chip) VPagesHeld() int {
+	n := 0
+	for _, used := range c.vpageInUse {
+		if used {
+			n++
+		}
+	}
+	return n
+}
 
 // Busy reports whether the die is executing an array operation — the R/B_n
 // pin abstraction.

@@ -153,7 +153,22 @@ type FTL struct {
 	// disables tracing with no overhead.
 	trc    *trace.Recorder
 	gcSpan trace.SpanID
+
+	// sink receives page-commit notifications for invariant checking; nil
+	// (the default) disables the hook with no overhead.
+	sink CheckSink
 }
+
+// CheckSink receives the FTL's authoritative record of what every LPN
+// should contain: one PageWritten per committed mapping update, covering
+// host writes, warm-up installs, and fault-remapped reissues. The
+// invariant checker uses it to verify page conservation at drain.
+type CheckSink interface {
+	PageWritten(lpn int64, tok flash.Token)
+}
+
+// SetChecker attaches a page-commit sink; nil (the default) detaches.
+func (f *FTL) SetChecker(s CheckSink) { f.sink = s }
 
 // New builds an FTL over the fabric. numLPNs is the exported logical
 // capacity in pages; it must leave over-provisioning headroom below the
@@ -239,6 +254,14 @@ func (f *FTL) GCActive() bool { return f.gcActive }
 // Outstanding returns host operations in flight.
 func (f *FTL) Outstanding() int { return f.outstanding }
 
+// InflightWriteLPNs returns the number of LPNs with writes still in
+// flight — nonzero after a drained run indicates a leaked reference.
+func (f *FTL) InflightWriteLPNs() int { return len(f.inflightWrites) }
+
+// StalledWrites returns writes parked on allocation space — nonzero after
+// a drained run indicates the device wedged out of space.
+func (f *FTL) StalledWrites() int { return len(f.stalled) }
+
 func (f *FTL) planeAt(id controller.ChipID, plane int) *planeState {
 	chipIdx := id.Channel*f.ways + id.Way
 	return f.planes[chipIdx*f.geo.Planes+plane]
@@ -319,6 +342,9 @@ func (f *FTL) Install(lpn int64, tok flash.Token) {
 	f.l2p[lpn] = phys
 	f.p2l[phys] = lpn
 	ps.blocks[block].validCount++
+	if f.sink != nil {
+		f.sink.PageWritten(lpn, tok)
+	}
 }
 
 // Reinstall instantly overwrites an already-mapped LPN during warmup:
@@ -348,6 +374,9 @@ func (f *FTL) Reinstall(lpn int64, tok flash.Token) {
 	f.l2p[lpn] = phys
 	f.p2l[phys] = lpn
 	ps.blocks[block].validCount++
+	if f.sink != nil {
+		f.sink.PageWritten(lpn, tok)
+	}
 }
 
 // groupOps batches per-page operations on one chip into multi-plane sets
@@ -598,6 +627,9 @@ func (f *FTL) commitWrite(lpns []int64, toks []flash.Token, targets []pendingTar
 		ps.blocks[tgt.block].inflight++
 		ps.blocks[tgt.block].lastWrite = int64(f.eng.Now())
 		f.inflightWrites[lpn]++
+		if f.sink != nil {
+			f.sink.PageWritten(lpn, toks[i])
+		}
 		locs[i], addrs[i] = tgt.s.chip, addr
 	}
 	batches := batchByChip(locs, addrs, toks, lpns)
@@ -624,6 +656,14 @@ func (f *FTL) commitWrite(lpns []int64, toks []flash.Token, targets []pendingTar
 			if remaining == 0 {
 				for _, lpn := range lpnsCopy {
 					f.releaseInflight(lpn)
+				}
+				// Liveness backstop: if writes are parked with no collection
+				// running (a zero-victim round finished while every Full block
+				// still had programs in flight), this completion is the event
+				// that unblocks victim selection — restart GC. Healthy runs
+				// never take this branch: a stall always leaves gcActive set.
+				if len(f.stalled) > 0 && !f.gcActive && f.cfg.GCMode != GCNone {
+					f.startGC(nil)
 				}
 				if done != nil {
 					done()

@@ -145,7 +145,7 @@ func (f *FTL) startGC(done func()) {
 	freeAtStart := f.totalFreeBlocks()
 	victims := f.capVictims(f.selectVictims(perChip))
 	if len(victims) == 0 {
-		f.finishGC(started, freeAtStart, done)
+		f.finishGC(started, freeAtStart, false, done)
 		return
 	}
 	remaining := len(victims)
@@ -154,7 +154,7 @@ func (f *FTL) startGC(done func()) {
 		f.collectVictim(v, func() {
 			remaining--
 			if remaining == 0 {
-				f.finishGC(started, freeAtStart, done)
+				f.finishGC(started, freeAtStart, true, done)
 			}
 		})
 	}
@@ -188,7 +188,7 @@ func (f *FTL) totalFreeBlocks() int {
 	return free
 }
 
-func (f *FTL) finishGC(started sim.Time, freeAtStart int, done func()) {
+func (f *FTL) finishGC(started sim.Time, freeAtStart int, hadVictims bool, done func()) {
 	f.gcActive = false
 	dur := f.eng.Now() - started
 	f.stats.GCTotalTime += dur
@@ -202,7 +202,14 @@ func (f *FTL) finishGC(started sim.Time, freeAtStart int, done func()) {
 	if f.cfg.GCMode == GCSpatial {
 		f.gcGroupLo = !f.gcGroupLo
 	}
-	f.retryStalled()
+	// A zero-victim round fires no events and changes no allocation state,
+	// so retrying stalled writes would re-stall them, restart GC, and recurse
+	// without bound (every Full block can have programs in flight on a tiny
+	// device). Leave them parked: each victim erase already retries, and the
+	// commitWrite completion hook restarts GC once in-flight programs land.
+	if hadVictims {
+		f.retryStalled()
+	}
 	if done != nil {
 		done()
 	}
@@ -249,12 +256,15 @@ func (f *FTL) collectVictim(v victim, done func()) {
 // yieldToHost implements the semi-preemptive policy: between page copies,
 // GC waits while host I/O is outstanding, polling until the device goes
 // idle — unless free space is critically low, in which case it stops
-// yielding (GC cannot be postponed indefinitely).
+// yielding (GC cannot be postponed indefinitely). Writes stalled on
+// allocation never count as I/O worth yielding to: they cannot progress
+// until GC frees space, so waiting on them would deadlock the device
+// with free space sitting just above the critical floor.
 func (f *FTL) yieldToHost(proceed func()) {
 	critical := f.cfg.GCThreshold / 4
 	var poll func()
 	poll = func() {
-		if f.outstanding == 0 || f.FreeBlockFraction() < critical {
+		if f.outstanding == 0 || len(f.stalled) > 0 || f.FreeBlockFraction() < critical {
 			proceed()
 			return
 		}

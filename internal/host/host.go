@@ -75,8 +75,16 @@ func (h *Host) SetTracer(t *trace.Recorder) { h.trc = t }
 // SetObserver attaches a hold/queue observer to the NVMe link resource.
 func (h *Host) SetObserver(o sim.ResourceObserver) { h.nvme.SetObserver(o) }
 
+// AddObserver attaches an additional observer to the NVMe link resource
+// (the invariant-checking hook), alongside any tracing observer.
+func (h *Host) AddObserver(o sim.ResourceObserver) { h.nvme.AddObserver(o) }
+
 // NvmeName returns the NVMe link resource's trace track name.
 func (h *Host) NvmeName() string { return h.nvme.Name() }
+
+// NvmeIdle reports whether the NVMe link is idle with no queued
+// transfers — a drained-device invariant.
+func (h *Host) NvmeIdle() bool { return !h.nvme.Busy() && h.nvme.QueueLen() == 0 }
 
 // FTL returns the bound translation layer.
 func (h *Host) FTL() *ftl.FTL { return h.f }

@@ -87,6 +87,36 @@ func (r *Resource) SetUtilRecorder(u *UtilRecorder) { r.util = u }
 // tracing disabled are bit-identical to runs before observers existed.
 func (r *Resource) SetObserver(o ResourceObserver) { r.obs = o }
 
+// AddObserver attaches an additional observer alongside any already
+// installed, fanning callbacks out to both in installation order. This
+// lets tracing and invariant checking watch the same resource without
+// either knowing about the other.
+func (r *Resource) AddObserver(o ResourceObserver) {
+	if o == nil {
+		return
+	}
+	if r.obs == nil {
+		r.obs = o
+		return
+	}
+	r.obs = teeObserver{a: r.obs, b: o}
+}
+
+// teeObserver fans observer callbacks out to two observers.
+type teeObserver struct {
+	a, b ResourceObserver
+}
+
+func (t teeObserver) ResourceHold(r *Resource, label string, queuedAt, grantedAt, releasedAt Time) {
+	t.a.ResourceHold(r, label, queuedAt, grantedAt, releasedAt)
+	t.b.ResourceHold(r, label, queuedAt, grantedAt, releasedAt)
+}
+
+func (t teeObserver) ResourceQueue(r *Resource, depth int, at Time) {
+	t.a.ResourceQueue(r, depth, at)
+	t.b.ResourceQueue(r, depth, at)
+}
+
 // Busy reports whether the resource is currently held.
 func (r *Resource) Busy() bool { return r.busy }
 

@@ -9,6 +9,7 @@ package ssd
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/controller"
 	"repro/internal/fault"
 	"repro/internal/flash"
@@ -100,6 +101,13 @@ type Config struct {
 	// default) leaves every hook detached, so the simulation is
 	// bit-identical to a build without tracing.
 	Trace *trace.Config
+	// Check, when non-nil, enables the invariant checker: an observer is
+	// attached alongside tracing on every bus channel, flash die, SoC
+	// resource, and the NVMe link, the FTL reports page commits, and Run
+	// verifies drain-time invariants. Nil (the default) leaves every hook
+	// detached, so the simulation is bit-identical to a build without
+	// checking.
+	Check *check.Config
 }
 
 // DefaultConfig returns the paper's Table II parameters: 8 channels, 8
@@ -179,6 +187,8 @@ type SSD struct {
 	Faults *fault.Injector
 	// Tracer is the trace recorder, nil unless Config.Trace was set.
 	Tracer *trace.Recorder
+	// Checker is the invariant checker, nil unless Config.Check was set.
+	Checker *check.Checker
 }
 
 // RAS returns the run's RAS counters, or nil when fault injection is off.
@@ -248,6 +258,113 @@ func wireTrace(cfg Config, eng *sim.Engine, grid *controller.Grid, fab controlle
 	return rec
 }
 
+// wireCheck builds the invariant checker from cfg.Check (nil when
+// absent): it registers every bus channel, die, SoC resource, and the
+// NVMe link with its kind, attaches the checker as an additional observer
+// (tracing, if enabled, keeps its own), hooks the FTL's page-commit sink
+// and the Omnibus copy-routing notification, and installs the drain-time
+// leak and accounting checks Run verifies.
+func wireCheck(cfg Config, eng *sim.Engine, grid *controller.Grid, fab controller.Fabric, f *ftl.FTL, h *host.Host, soc *controller.Soc, inj *fault.Injector) *check.Checker {
+	if cfg.Check == nil {
+		return nil
+	}
+	ck := check.New(eng, *cfg.Check)
+	watch := func(name string, busy func() bool, queued func() int) {
+		ck.WatchIdle(name, func() (bool, int) { return busy(), queued() })
+	}
+	switch fb := fab.(type) {
+	case *controller.BusFabric:
+		for ch := 0; ch < grid.Channels; ch++ {
+			c := fb.Channel(ch)
+			ck.RegisterResource(c.Name(), trace.KindHChannel)
+			c.AddObserver(ck)
+			watch(c.Name(), c.Busy, c.QueueLen)
+		}
+	case *controller.OmnibusFabric:
+		for ch := 0; ch < grid.Channels; ch++ {
+			c := fb.HChannel(ch)
+			ck.RegisterResource(c.Name(), trace.KindHChannel)
+			c.AddObserver(ck)
+			watch(c.Name(), c.Busy, c.QueueLen)
+		}
+		for i := 0; i < fb.NumVChannels(); i++ {
+			c := fb.VChannel(i * fb.ColumnsPerVChannel())
+			ck.RegisterResource(c.Name(), trace.KindVChannel)
+			c.AddObserver(ck)
+			watch(c.Name(), c.Busy, c.QueueLen)
+		}
+		ck.WatchCopies(fb.ColumnsPerVChannel())
+		fb.SetChecker(ck)
+	}
+	grid.ForEach(func(_ controller.ChipID, c *flash.Chip) {
+		ck.RegisterResource(c.DieName(), trace.KindChip)
+		c.AddObserver(ck)
+		watch(c.DieName(), c.Busy, c.QueueLen)
+	})
+	soc.AddObserver(ck)
+	ck.RegisterResource("sysbus", trace.KindSoc)
+	ck.RegisterResource("dram", trace.KindSoc)
+	ck.AddDrainCheck("soc-idle", func() error {
+		if !soc.Idle() {
+			return fmt.Errorf("SoC resources busy or queued after drain")
+		}
+		return nil
+	})
+	ck.RegisterResource(h.NvmeName(), trace.KindHost)
+	h.AddObserver(ck)
+	ck.AddDrainCheck("nvme-idle", func() error {
+		if !h.NvmeIdle() {
+			return fmt.Errorf("NVMe link busy or queued after drain")
+		}
+		return nil
+	})
+	f.SetChecker(ck)
+	ck.SetContentProbe(func(lpn int64) (flash.Token, bool) {
+		id, addr, ok := f.Map(lpn)
+		if !ok {
+			return 0, false
+		}
+		chip := grid.Chip(id)
+		if chip.PageStateAt(addr) != flash.PageProgrammed {
+			return 0, false
+		}
+		return chip.ContentAt(addr), true
+	})
+	ck.AddDrainCheck("engine-drained", func() error {
+		if n := eng.Pending(); n != 0 {
+			return fmt.Errorf("%d events still pending", n)
+		}
+		return nil
+	})
+	ck.AddDrainCheck("ftl-drained", func() error {
+		switch {
+		case f.Outstanding() != 0:
+			return fmt.Errorf("%d host ops outstanding", f.Outstanding())
+		case f.InflightWriteLPNs() != 0:
+			return fmt.Errorf("%d LPNs with writes in flight", f.InflightWriteLPNs())
+		case f.StalledWrites() != 0:
+			return fmt.Errorf("%d writes stalled on space", f.StalledWrites())
+		case f.GCActive():
+			return fmt.Errorf("GC round still active")
+		}
+		return nil
+	})
+	ck.AddDrainCheck("ftl-consistency", f.CheckConsistency)
+	ck.AddDrainCheck("vpage-leaks", func() error {
+		var err error
+		grid.ForEach(func(id controller.ChipID, c *flash.Chip) {
+			if err == nil && c.VPagesHeld() > 0 {
+				err = fmt.Errorf("chip %v holds %d V-page registers", id, c.VPagesHeld())
+			}
+		})
+		return err
+	})
+	if inj != nil {
+		ck.AddDrainCheck("ras-balance", check.RASBalance(inj))
+	}
+	return ck
+}
+
 // New builds an SSD of the given architecture. The SoC and NVMe
 // bandwidths are provisioned at the architecture's total flash-channel
 // bandwidth so they never bottleneck the interconnect under study
@@ -272,7 +389,8 @@ func New(arch Arch, cfg Config) *SSD {
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec}
+	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec, Checker: ck}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -290,7 +408,8 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec}
+	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec, Checker: ck}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {
@@ -338,8 +457,25 @@ func (s *SSD) AttachChannelUtil(window sim.Time) *stats.UtilMatrix {
 	}
 }
 
-// Run drains the event queue and returns the final simulation time.
-func (s *SSD) Run() sim.Time { return s.Engine.Run() }
+// Run drains the event queue and returns the final simulation time. With
+// the invariant checker enabled, every drain is verified and a violation
+// panics — turning each experiment run into a correctness oracle. Use
+// Engine.Run plus VerifyInvariants to inspect violations without
+// panicking.
+func (s *SSD) Run() sim.Time {
+	t := s.Engine.Run()
+	if s.Checker.Enabled() {
+		if err := s.Checker.Verify(); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// VerifyInvariants evaluates the checker's drain-time invariants and
+// returns the accumulated violations as an error, or nil when clean (or
+// when checking is disabled). Idempotent.
+func (s *SSD) VerifyInvariants() error { return s.Checker.Verify() }
 
 // Metrics returns the host-side I/O metrics.
 func (s *SSD) Metrics() *stats.IOMetrics { return s.Host.Metrics() }

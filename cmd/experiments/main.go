@@ -77,7 +77,7 @@ func startProfiles(cpuPath, memPath string) func() {
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention (empty = all)")
+	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant (empty = all)")
 	table := flag.String("table", "", "table to print: 1,2,3")
 	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
 	faultExp := flag.String("fault", "", "fault/RAS experiment: sweep (fault-rate x architecture), degraded (v-channel kill + grant drops), all")
@@ -141,6 +141,7 @@ func main() {
 		"20a":        fig20a,
 		"20b":        fig20b,
 		"contention": figContention,
+		"tenant":     figTenant,
 	}
 	tables := map[string]func(exp.Options, func(*report.Table)){
 		"1": table1,
@@ -168,7 +169,7 @@ func main() {
 		}
 		fn(opt, emit)
 	default:
-		order := []string{"1", "3", "4", "6", "8", "14", "16", "17", "18", "19", "20a", "20b"}
+		order := []string{"1", "3", "4", "6", "8", "14", "16", "17", "18", "19", "20a", "20b", "tenant"}
 		table1(opt, emit)
 		table2(opt, emit)
 		table3(opt, emit)
@@ -525,6 +526,19 @@ func runFaultExperiments(which string, opt exp.Options, emit func(*report.Table)
 		fmt.Fprintf(os.Stderr, "unknown fault experiment %q\n", which)
 		os.Exit(2)
 	}
+}
+
+func figTenant(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.TenantSweep(opt)
+	t := report.New("Tenant interference: noisy write neighbor vs latency-sensitive reader (arbiter x SpGC; supplementary analysis)",
+		"config", "tenant", "mean", "p50", "p95", "p99", "p99.9", "KIOPS", "SLO misses")
+	for _, r := range rows {
+		for _, tn := range r.Tenants {
+			t.Add(r.Point.Label(), tn.Name, tn.Mean.String(), tn.P50.String(), tn.P95.String(),
+				tn.P99.String(), tn.P999.String(), report.F1(tn.KIOPS), fmt.Sprint(tn.SLOViolations))
+		}
+	}
+	emit(t)
 }
 
 func figContention(opt exp.Options, emit func(*report.Table)) {

@@ -59,6 +59,9 @@ func TestCSVHeaderStability(t *testing.T) {
 		{"table2", table2, []string{
 			"parameter,value",
 		}},
+		{"tenant", figTenant, []string{
+			"config,tenant,mean,p50,p95,p99,p99.9,KIOPS,SLO misses",
+		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

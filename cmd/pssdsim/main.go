@@ -151,7 +151,9 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("trace footprint %d exceeds device logical pages %d", tr.Footprint, foot)
 		}
 		fmt.Fprintf(stdout, "workload: trace file %s, %d requests\n", *traceFile, len(tr.Requests))
-		s.Host.Replay(tr.Requests)
+		if _, err := s.Host.Replay(tr.Requests); err != nil {
+			return fmt.Errorf("replay trace: %v", err)
+		}
 	default:
 		name := *preset
 		if name == "" {
@@ -164,7 +166,9 @@ func run(args []string, stdout io.Writer) error {
 		reads, writes, frac := tr.Mix()
 		fmt.Fprintf(stdout, "workload: %s (%d reads / %d writes, %.0f%% read), duration %v\n",
 			name, reads, writes, frac*100, tr.Duration())
-		s.Host.Replay(tr.Requests)
+		if _, err := s.Host.Replay(tr.Requests); err != nil {
+			return fmt.Errorf("replay workload: %v", err)
+		}
 	}
 
 	// Engine.Run plus an explicit verify so a violation surfaces as a

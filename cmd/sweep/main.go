@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/ftl"
+	"repro/internal/host"
 	"repro/internal/runner"
 	"repro/internal/ssd"
 	"repro/internal/workload"
@@ -40,11 +41,13 @@ var patterns = map[string]workload.Pattern{
 }
 
 func main() {
-	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages")
+	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants")
 	archFlag := flag.String("arch", "pnssd+split", "architecture (comma list allowed)")
 	patternFlag := flag.String("pattern", "rand-read", "synthetic pattern")
+	arbiterFlag := flag.String("arbiter", "rr", "queue arbiter for the tenants sweep: rr, wrr, dwrr")
+	preset := flag.String("preset", "rocksdb-0", "per-tenant workload preset for the tenants sweep")
 	requests := flag.Int("requests", 300, "requests per point")
-	outstanding := flag.Int("outstanding", 16, "outstanding depth (fixed dims)")
+	outstanding := flag.Int("outstanding", 16, "outstanding depth (fixed dims; front-end inflight cap for tenants)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runner.Default(), "worker count for sweep points (1 = sequential)")
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -66,10 +69,11 @@ func main() {
 	}
 
 	type point struct {
-		x    int
-		mk   func() ssd.Config
-		outs int
-		req  int
+		x       int
+		mk      func() ssd.Config
+		outs    int
+		req     int
+		tenants int // > 0 selects the multi-tenant open-loop path
 	}
 	var pts []point
 	base := func() ssd.Config { return ssd.ScaledConfig() }
@@ -101,6 +105,14 @@ func main() {
 		for _, n := range []int{1, 2, 4, 8, 16} {
 			n := n
 			pts = append(pts, point{x: n, mk: base, outs: *outstanding, req: n})
+		}
+	case "tenants":
+		if _, err := host.NewArbiter(*arbiterFlag); err != nil {
+			fatalf("%v", err)
+		}
+		for _, n := range []int{1, 2, 3, 4} {
+			n := n
+			pts = append(pts, point{x: n, mk: base, outs: *outstanding, tenants: n})
 		}
 	default:
 		fatalf("unknown sweep parameter %q", *param)
@@ -138,6 +150,46 @@ func main() {
 		arch, pt := archs[i/len(pts)], pts[i%len(pts)]
 		cfg := pt.mk()
 		cfg.FTL.GCMode = ftl.GCNone
+		label := p.String()
+		if pt.tenants > 0 {
+			// Tenant-count sweep: N identical preset tenants on partitioned
+			// footprints replay open-loop through the multi-queue front end
+			// with the chosen arbiter; requests split evenly across tenants.
+			label = *preset + "/" + *arbiterFlag
+			specs := make([]workload.TenantSpec, pt.tenants)
+			per := *requests / pt.tenants
+			if per < 1 {
+				per = 1
+			}
+			for t := range specs {
+				specs[t] = workload.TenantSpec{
+					Name: fmt.Sprintf("t%d", t), Preset: *preset,
+					Requests: per, Weight: 1 + t,
+				}
+			}
+			cfg.Frontend = &host.FrontendConfig{
+				Tenants:     workload.QueueConfigs(specs),
+				Arbiter:     *arbiterFlag,
+				MaxInflight: pt.outs,
+			}
+			s := ssd.New(arch, cfg)
+			foot := s.Config.LogicalPages()
+			s.Host.Warmup(foot)
+			tr, err := workload.GenerateTenants(specs, foot, *seed)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := s.Frontend.Replay(tr.Requests); err != nil {
+				panic(err)
+			}
+			s.Run()
+			m := s.Metrics()
+			return fmt.Sprintf("%s,%s,%s,%d,%.2f,%.2f,%.1f",
+				*param, arch, label, pt.x,
+				m.MeanLatency().Microseconds(),
+				m.Combined().P99().Microseconds(),
+				m.KIOPS())
+		}
 		s := ssd.New(arch, cfg)
 		foot := s.Config.LogicalPages()
 		s.Host.Warmup(foot)
@@ -146,7 +198,7 @@ func main() {
 		s.Run()
 		m := s.Metrics()
 		return fmt.Sprintf("%s,%s,%s,%d,%.2f,%.2f,%.1f",
-			*param, arch, p, pt.x,
+			*param, arch, label, pt.x,
 			m.MeanLatency().Microseconds(),
 			m.Combined().P99().Microseconds(),
 			m.KIOPS())

@@ -37,7 +37,7 @@ func run(arch ssd.Arch, mode ftl.GCMode) (*stats.IOMetrics, ftl.Stats) {
 	if err != nil {
 		panic(err)
 	}
-	device.Host.Replay(tr.Requests)
+	device.Host.MustReplay(tr.Requests)
 	device.Run()
 	if err := device.FTL.CheckConsistency(); err != nil {
 		panic(err)

@@ -31,7 +31,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		device.Host.Replay(tr.Requests)
+		device.Host.MustReplay(tr.Requests)
 		device.Run()
 
 		m := device.Metrics()

@@ -59,7 +59,10 @@ func run(stdout io.Writer) error {
 	for _, arch := range []ssd.Arch{ssd.ArchBase, ssd.ArchPnSSDSplit} {
 		device := ssd.New(arch, cfg)
 		device.Host.Warmup(foot)
-		completed := device.Host.Replay(replayed.Requests)
+		completed, err := device.Host.Replay(replayed.Requests)
+		if err != nil {
+			return fmt.Errorf("%v: replay rejected: %v", arch, err)
+		}
 		device.Run()
 		if *completed != len(replayed.Requests) {
 			return fmt.Errorf("%v: completed %d of %d requests", arch, *completed, len(replayed.Requests))

@@ -83,6 +83,11 @@ type Checker struct {
 	colsPerV                    int
 	directCopies, relayedCopies int64
 
+	// multi-queue front-end ledger (WatchTenants): per-tenant
+	// queued/granted/done counts and the fairness bound.
+	tenants     []tenantState
+	tenantBound int
+
 	idleProbes  []idleProbe
 	drainChecks []drainCheck
 

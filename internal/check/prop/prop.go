@@ -14,6 +14,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/fault"
 	"repro/internal/ftl"
+	"repro/internal/host"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -42,13 +43,19 @@ type Case struct {
 	Faulty   bool
 	Trace    string
 	Requests int
+
+	// Tenants > 1 routes the workload through a multi-queue front end
+	// with the named Arbiter (round-robin striping of requests across
+	// queues); Tenants <= 1 drives the single-queue host directly.
+	Tenants int
+	Arbiter string
 }
 
 // String renders the case compactly for failure messages.
 func (c Case) String() string {
-	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d",
+	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d tenants=%d/%s",
 		c.Index, c.Seed, c.Arch, c.Channels, c.Ways, c.Planes, c.Blocks, c.Pages,
-		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests)
+		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests, c.Tenants, c.Arbiter)
 }
 
 // rng is a splitmix64 stream: tiny, seedable, and stable across Go
@@ -121,6 +128,8 @@ func Generate(seed uint64, n int) []Case {
 			Faulty:      faulty,
 			Trace:       traces[r.intn(len(traces))],
 			Requests:    100 + 50*r.intn(5),
+			Tenants:     pickInt(r, 1, 2, 3),
+			Arbiter:     host.ArbiterNames()[r.intn(len(host.ArbiterNames()))],
 		}
 	}
 	return cases
@@ -156,6 +165,24 @@ func (c Case) Config() ssd.Config {
 		}
 	}
 	cfg.Check = &check.Config{}
+	if c.Tenants > 1 {
+		tenants := make([]host.TenantConfig, c.Tenants)
+		for i := range tenants {
+			// Deterministic weight/burst spread so wrr and dwrr exercise
+			// their non-uniform paths: weights 1,2,3,... and a burst cap on
+			// every other queue.
+			tenants[i] = host.TenantConfig{
+				Name:   fmt.Sprintf("t%d", i),
+				Weight: 1 + i,
+				Burst:  (i % 2) * 4,
+			}
+		}
+		cfg.Frontend = &host.FrontendConfig{
+			Tenants:     tenants,
+			Arbiter:     c.Arbiter,
+			MaxInflight: 8,
+		}
+	}
 	return cfg
 }
 
@@ -181,7 +208,18 @@ func Run(c Case) Result {
 	if err != nil {
 		return Result{Case: c, Err: err}
 	}
-	completed := s.Host.Replay(tr.Requests)
+	var completed *int
+	if s.Frontend != nil {
+		for i := range tr.Requests {
+			tr.Requests[i].Tenant = i % c.Tenants
+		}
+		completed, err = s.Frontend.Replay(tr.Requests)
+	} else {
+		completed, err = s.Host.Replay(tr.Requests)
+	}
+	if err != nil {
+		return Result{Case: c, Err: fmt.Errorf("%v: replay rejected: %w", c, err)}
+	}
 	// Engine.RunUntil, not SSD.Run: a violating case should come back as
 	// a Result rather than a panic, and the horizon (generous — generated
 	// workloads drain in well under 100 simulated ms) turns a livelocked

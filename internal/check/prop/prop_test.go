@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/host"
 )
 
 func TestGenerateIsDeterministic(t *testing.T) {
@@ -92,5 +94,63 @@ func TestPropertyCaseReplay(t *testing.T) {
 	}
 	if !bytes.Equal(r1.Summary, r2.Summary) {
 		t.Fatalf("%v: replay summary differs", c)
+	}
+}
+
+// The multi-tenant property, asserted explicitly rather than hoping the
+// generator happened to draw Tenants > 1: every arbiter x tenant-count
+// combination runs its workload through the multi-queue front end with
+// the full checker (including the tenant ledger, fairness, and
+// conservation rules) and reports zero violations, byte-identically at
+// any worker count.
+func TestPropertyMultiTenantZeroViolations(t *testing.T) {
+	base := Generate(11, len(host.ArbiterNames())*2)
+	var cases []Case
+	for i, arb := range host.ArbiterNames() {
+		for j, tenants := range []int{2, 3} {
+			c := base[i*2+j]
+			c.Tenants = tenants
+			c.Arbiter = arb
+			cases = append(cases, c)
+		}
+	}
+	serial := RunAll(cases, 1)
+	fanned := RunAll(cases, 4)
+	for i, res := range serial {
+		if res.Err != nil {
+			t.Errorf("%v: %v", cases[i], res.Err)
+			continue
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("%v: %d violations: %v", cases[i], len(res.Violations), res.Violations)
+		}
+		if res.Checks == 0 {
+			t.Errorf("%v: checker asserted nothing", cases[i])
+		}
+		if !bytes.Equal(res.Summary, fanned[i].Summary) || res.Checks != fanned[i].Checks {
+			t.Errorf("%v: results differ between -parallel 1 and 4", cases[i])
+		}
+	}
+}
+
+// Generate must actually exercise the tenant dimension: across a modest
+// sample, both single- and multi-tenant cases and more than one arbiter
+// appear.
+func TestGenerateCoversTenantDimension(t *testing.T) {
+	single, multi := 0, 0
+	arbs := map[string]bool{}
+	for _, c := range Generate(3, 40) {
+		if c.Tenants <= 1 {
+			single++
+		} else {
+			multi++
+			arbs[c.Arbiter] = true
+		}
+	}
+	if single == 0 || multi == 0 {
+		t.Fatalf("tenant mix degenerate: %d single, %d multi", single, multi)
+	}
+	if len(arbs) < 2 {
+		t.Fatalf("multi-tenant cases drew only arbiters %v", arbs)
 	}
 }

@@ -1,0 +1,130 @@
+package check
+
+import "fmt"
+
+// tenantState is the checker's own ledger for one submission queue. The
+// checker recomputes depth from queued/granted transitions and compares
+// it against the depth the front end reports, so a bookkeeping bug in
+// either layer surfaces as a mismatch.
+type tenantState struct {
+	queued  int64 // commands enqueued
+	granted int64 // commands dispatched by the arbiter
+	done    int64 // commands completed
+	depth   int   // ledger queue depth
+	waiting int64 // grants elsewhere while this queue was non-empty
+}
+
+// WatchTenants enables the multi-queue front-end invariants for n
+// tenants: per-queue depth accounting (the front end's reported depth
+// must match the checker's own queued/granted ledger), the arbiter
+// fairness bound (no non-empty queue watches more than `bound` grants
+// go elsewhere — a generous safety net against true starvation, not a
+// tight schedule assertion), and per-tenant conservation (every queued
+// command is granted exactly once and completes exactly once, verified
+// at drain). bound <= 0 disables the fairness rule.
+func (c *Checker) WatchTenants(n, bound int) {
+	if c == nil {
+		return
+	}
+	c.tenants = make([]tenantState, n)
+	c.tenantBound = bound
+	c.AddDrainCheck("tenant-conservation", c.tenantDrain)
+}
+
+// TenantQueued implements host.FrontendObserver.
+func (c *Checker) TenantQueued(tenant, depth int) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	if tenant < 0 || tenant >= len(c.tenants) {
+		c.violate("tenant-queue-depth", "queued on unknown tenant %d", tenant)
+		return
+	}
+	t := &c.tenants[tenant]
+	t.queued++
+	t.depth++
+	if t.depth != depth {
+		c.violate("tenant-queue-depth", "tenant %d: reported depth %d, ledger %d after enqueue", tenant, depth, t.depth)
+	}
+}
+
+// TenantGranted implements host.FrontendObserver: besides the depth
+// ledger it advances the fairness clock — every other non-empty queue
+// has watched one more grant go elsewhere.
+func (c *Checker) TenantGranted(tenant, depth int) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	if tenant < 0 || tenant >= len(c.tenants) {
+		c.violate("tenant-queue-depth", "grant on unknown tenant %d", tenant)
+		return
+	}
+	t := &c.tenants[tenant]
+	t.granted++
+	t.depth--
+	t.waiting = 0
+	if t.depth < 0 {
+		c.violate("tenant-queue-depth", "tenant %d: granted with empty ledger queue", tenant)
+		t.depth = 0
+	}
+	if t.depth != depth {
+		c.violate("tenant-queue-depth", "tenant %d: reported depth %d, ledger %d after grant", tenant, depth, t.depth)
+	}
+	for i := range c.tenants {
+		o := &c.tenants[i]
+		if i == tenant || o.depth == 0 {
+			continue
+		}
+		o.waiting++
+		if c.tenantBound > 0 && o.waiting == int64(c.tenantBound)+1 {
+			c.violate("tenant-starvation", "tenant %d: non-empty queue passed over for %d grants (bound %d)",
+				i, o.waiting, c.tenantBound)
+		}
+	}
+}
+
+// TenantDone implements host.FrontendObserver.
+func (c *Checker) TenantDone(tenant int) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	if tenant < 0 || tenant >= len(c.tenants) {
+		c.violate("tenant-conservation", "completion on unknown tenant %d", tenant)
+		return
+	}
+	t := &c.tenants[tenant]
+	t.done++
+	if t.done > t.granted {
+		c.violate("tenant-conservation", "tenant %d: %d completions for %d grants", tenant, t.done, t.granted)
+	}
+}
+
+// tenantDrain is the end-of-run conservation assertion: every queue
+// empty, every queued command granted, every grant completed.
+func (c *Checker) tenantDrain() error {
+	for i := range c.tenants {
+		t := &c.tenants[i]
+		switch {
+		case t.depth != 0:
+			return fmt.Errorf("tenant %d: %d commands still queued after drain", i, t.depth)
+		case t.queued != t.granted:
+			return fmt.Errorf("tenant %d: %d queued but %d granted", i, t.queued, t.granted)
+		case t.granted != t.done:
+			return fmt.Errorf("tenant %d: %d granted but %d completed", i, t.granted, t.done)
+		}
+	}
+	return nil
+}
+
+// TenantCounts returns one tenant's (queued, granted, done) ledger, for
+// tests; zeros for an out-of-range tenant.
+func (c *Checker) TenantCounts(tenant int) (queued, granted, done int64) {
+	if c == nil || tenant < 0 || tenant >= len(c.tenants) {
+		return 0, 0, 0
+	}
+	t := &c.tenants[tenant]
+	return t.queued, t.granted, t.done
+}

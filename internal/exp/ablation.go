@@ -41,7 +41,7 @@ func pnSSDTraceRun(opt Options, trace string, churn float64, mode ftl.GCMode,
 	if err != nil {
 		panic(err)
 	}
-	s.Host.Replay(tr.Requests)
+	s.Host.MustReplay(tr.Requests)
 	s.Run()
 	m := s.Metrics()
 	return s, AblationRow{Latency: m.MeanLatency(), P99: m.Combined().P99()}
@@ -118,7 +118,7 @@ func AblationEccFallback(opt Options) []AblationRow {
 		if err != nil {
 			panic(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		return AblationRow{
@@ -165,7 +165,7 @@ func AblationGCGroup(opt Options) []AblationRow {
 		if err != nil {
 			panic(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		st := s.FTL.Stats()
@@ -193,7 +193,7 @@ func AblationOrganization(opt Options) []AblationRow {
 		if err != nil {
 			panic(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		omni := s.Fabric.(*controller.OmnibusFabric)
@@ -230,7 +230,7 @@ func AblationVictimPolicy(opt Options) []AblationRow {
 			MeanGap:    40 * sim.Microsecond,
 			Burst:      4,
 		}, s.Config.LogicalPages(), opt.TraceRequests*2, opt.Seed)
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		st := s.FTL.Stats()

@@ -41,7 +41,7 @@ func Contention(opt Options) []ContentionRow {
 		if err != nil {
 			panic(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 
 		row := ContentionRow{Arch: arch, MeanLatency: s.Metrics().MeanLatency()}

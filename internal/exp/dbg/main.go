@@ -27,7 +27,7 @@ func run(arch ssd.Arch, mode ftl.GCMode) {
 		s.FTL.Reinstall(lpn, ftl.TokenFor(lpn, 1))
 	}
 	tr, _ := workload.Named("rocksdb-1", foot, 400, 1)
-	s.Host.Replay(tr.Requests)
+	s.Host.MustReplay(tr.Requests)
 	s.Run()
 	m := s.Metrics()
 	st := s.FTL.Stats()

@@ -128,7 +128,7 @@ func replayTrace(arch ssd.Arch, cfg ssd.Config, mode ftl.GCMode, trace string, n
 	if err != nil {
 		panic(err)
 	}
-	s.Host.Replay(tr.Requests)
+	s.Host.MustReplay(tr.Requests)
 	s.Run()
 	return s.Metrics(), s.FTL.Stats()
 }

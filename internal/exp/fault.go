@@ -50,7 +50,7 @@ func FaultSweep(opt Options) []FaultSweepRow {
 		if err != nil {
 			panic(err)
 		}
-		completed := s.Host.Replay(tr.Requests)
+		completed := s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		return FaultSweepRow{
@@ -97,7 +97,7 @@ func DegradedSweep(opt Options) []DegradedRow {
 		if err != nil {
 			panic(err)
 		}
-		completed := s.Host.Replay(tr.Requests)
+		completed := s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		return DegradedRow{

@@ -178,7 +178,7 @@ func Fig20a(opt Options) []Fig20aRow {
 		if err != nil {
 			panic(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		h := s.Metrics().Combined()
 		return Fig20aRow{

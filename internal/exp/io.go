@@ -44,7 +44,7 @@ func Fig3(opt Options) Fig3Result {
 				reqs = append(reqs, r)
 			}
 		}
-		s.Host.Replay(reqs)
+		s.Host.MustReplay(reqs)
 		s.Run()
 		return m.Rows()
 	}

@@ -25,6 +25,9 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 		for _, r := range FaultSweep(opt) {
 			s += fmt.Sprintf("%+v\n", r)
 		}
+		for _, r := range TenantSweep(opt) {
+			s += fmt.Sprintf("%+v\n", r)
+		}
 		return s
 	}
 

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/host"
+	"repro/internal/ssd"
+)
+
+// TestTenantSweepUnderChecker runs the noisy-neighbor study with the
+// invariant checker attached (s.Run panics on any violation, including
+// the tenant ledger and arbiter-fairness rules) and asserts the
+// structural shape the tenant figure depends on.
+func TestTenantSweepUnderChecker(t *testing.T) {
+	rows := TenantSweep(checkedOpts())
+	want := 2 * len(host.ArbiterNames()) * 2 // archs x arbiters x SpGC
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		label := r.Point.Label()
+		if seen[label] {
+			t.Fatalf("%s appears twice", label)
+		}
+		seen[label] = true
+		if len(r.Tenants) != 2 {
+			t.Fatalf("%s: %d tenants, want 2", label, len(r.Tenants))
+		}
+		lat, noisy := r.Tenants[0], r.Tenants[1]
+		if lat.Name != "latency" || noisy.Name != "noisy" {
+			t.Fatalf("%s: tenant names %q/%q", label, lat.Name, noisy.Name)
+		}
+		for _, tn := range r.Tenants {
+			if tn.Requests != int64(checkedOpts().TraceRequests) {
+				t.Errorf("%s/%s: %d requests completed", label, tn.Name, tn.Requests)
+			}
+			if !(tn.P50 <= tn.P95 && tn.P95 <= tn.P99 && tn.P99 <= tn.P999) {
+				t.Errorf("%s/%s: percentiles not monotone: %v %v %v %v",
+					label, tn.Name, tn.P50, tn.P95, tn.P99, tn.P999)
+			}
+			if tn.Mean <= 0 || tn.KIOPS <= 0 {
+				t.Errorf("%s/%s: mean %v, KIOPS %.1f", label, tn.Name, tn.Mean, tn.KIOPS)
+			}
+		}
+		// Only the latency tenant has SLOs; the noisy one can never violate.
+		if noisy.SLOViolations != 0 {
+			t.Errorf("%s: noisy tenant reports %d SLO violations with no SLO set", label, noisy.SLOViolations)
+		}
+	}
+	if !seen[TenantPoint{Arch: ssd.ArchPnSSDSplit, Arbiter: host.ArbDWRR, SpGC: true}.Label()] {
+		t.Fatal("matrix is missing the pnSSD(+split)/dwrr/SpGC cell")
+	}
+}

@@ -28,7 +28,7 @@ func TracedRun(opt Options, arch ssd.Arch, mode ftl.GCMode, traceName string, tr
 	if err != nil {
 		return nil, err
 	}
-	s.Host.Replay(tr.Requests)
+	s.Host.MustReplay(tr.Requests)
 	s.Run()
 	if traceW != nil {
 		if err := s.Tracer.ExportChrome(traceW); err != nil {

@@ -16,12 +16,14 @@ import (
 )
 
 // Request is one host I/O at page granularity: Pages consecutive LPNs
-// starting at LPN.
+// starting at LPN. Tenant selects the submission queue when the request
+// goes through a multi-queue Frontend; the single-queue Host ignores it.
 type Request struct {
 	Arrival sim.Time
 	Kind    stats.IOKind
 	LPN     int64
 	Pages   int
+	Tenant  int
 }
 
 // DefaultCmdLatency is the fixed NVMe command processing overhead
@@ -101,9 +103,6 @@ func (h *Host) Warmup(lpns int64) {
 }
 
 func (h *Host) lpnsOf(r Request) []int64 {
-	if r.Pages <= 0 {
-		panic(fmt.Sprintf("host: request with %d pages", r.Pages))
-	}
 	lpns := make([]int64, r.Pages)
 	for i := range lpns {
 		lpn := r.LPN + int64(i)
@@ -117,9 +116,13 @@ func (h *Host) lpnsOf(r Request) []int64 {
 
 // Submit issues one request now (the request's Arrival field is used only
 // for latency accounting and must not be in the future). done may be nil.
-func (h *Host) Submit(r Request, done func()) {
-	if r.Arrival > h.eng.Now() {
-		panic("host: submit before arrival time")
+// A malformed request — non-positive page count, unknown kind, or an
+// arrival still in the future — is rejected with an error before any
+// event is scheduled, so replaying an untrusted trace cannot crash the
+// simulation.
+func (h *Host) Submit(r Request, done func()) error {
+	if err := r.validate(h.eng.Now()); err != nil {
+		return err
 	}
 	h.inFlight++
 	lpns := h.lpnsOf(r)
@@ -141,14 +144,13 @@ func (h *Host) Submit(r Request, done func()) {
 		}
 	}
 	xfer := sim.Time(bytes) * h.nvmePsByte
-	switch r.Kind {
-	case stats.Read:
+	if r.Kind == stats.Read {
 		h.eng.Schedule(h.cmdLatency, func() {
 			h.f.Read(lpns, func() {
 				h.nvme.UseLabeled("read-return", xfer, finish)
 			})
 		})
-	case stats.Write:
+	} else {
 		toks := make([]flash.Token, len(lpns))
 		for i, lpn := range lpns {
 			h.versions[lpn]++
@@ -159,27 +161,70 @@ func (h *Host) Submit(r Request, done func()) {
 				h.f.Write(lpns, toks, finish)
 			})
 		})
-	default:
-		panic("host: unknown request kind")
 	}
+	return nil
+}
+
+// validate rejects a malformed request; now is the engine clock a
+// future-arrival check compares against.
+func (r Request) validate(now sim.Time) error {
+	if r.Pages <= 0 {
+		return fmt.Errorf("host: request with %d pages", r.Pages)
+	}
+	if r.Kind != stats.Read && r.Kind != stats.Write {
+		return fmt.Errorf("host: unknown request kind %d", int(r.Kind))
+	}
+	if r.Arrival > now {
+		return fmt.Errorf("host: submit at %v before arrival time %v", now, r.Arrival)
+	}
+	return nil
 }
 
 // Replay schedules every request of an open-loop trace at its arrival
 // time; run the engine afterwards and read Metrics. It returns a counter
-// that reports completions.
-func (h *Host) Replay(reqs []Request) *int {
+// that reports completions. The whole trace is validated up front — an
+// arrival before the current simulation time, a non-positive page
+// count, or an unknown kind rejects the trace with an error and
+// schedules nothing, so a malformed trace file cannot crash a sweep.
+func (h *Host) Replay(reqs []Request) (*int, error) {
+	now := h.eng.Now()
+	for i, r := range reqs {
+		if r.Arrival < now {
+			return nil, fmt.Errorf("host: request %d arrival %v is in the past (now %v)", i, r.Arrival, now)
+		}
+		if err := r.validate(r.Arrival); err != nil {
+			return nil, fmt.Errorf("host: request %d: %w", i, err)
+		}
+	}
 	completed := new(int)
 	for _, r := range reqs {
 		r := r
-		if r.Arrival < h.eng.Now() {
-			panic("host: trace arrival in the past")
-		}
 		h.eng.At(r.Arrival, func() {
 			r.Arrival = h.eng.Now()
-			h.Submit(r, func() { *completed++ })
+			h.mustSubmit(r, func() { *completed++ })
 		})
 	}
+	return completed, nil
+}
+
+// MustReplay replays a trace the caller knows is well-formed (generated
+// in-process, not loaded from disk), panicking on a validation failure —
+// the convenience the experiment drivers use. Untrusted traces go
+// through Replay and handle the error.
+func (h *Host) MustReplay(reqs []Request) *int {
+	completed, err := h.Replay(reqs)
+	if err != nil {
+		panic(err)
+	}
 	return completed
+}
+
+// mustSubmit issues a request already validated by the caller; a
+// rejection here is a host-layer bug, not bad input.
+func (h *Host) mustSubmit(r Request, done func()) {
+	if err := h.Submit(r, done); err != nil {
+		panic(err)
+	}
 }
 
 // RunClosedLoop keeps `outstanding` requests in flight until total
@@ -201,7 +246,7 @@ func (h *Host) RunClosedLoop(gen func(i int) Request, outstanding, total int) {
 		r := gen(issued)
 		issued++
 		r.Arrival = h.eng.Now()
-		h.Submit(r, issue)
+		h.mustSubmit(r, issue)
 	}
 	for i := 0; i < outstanding; i++ {
 		h.eng.Schedule(0, issue)

@@ -85,7 +85,10 @@ func TestReplayOpenLoop(t *testing.T) {
 		{Arrival: 20 * sim.Microsecond, Kind: stats.Write, LPN: 1, Pages: 1},
 		{Arrival: 30 * sim.Microsecond, Kind: stats.Read, LPN: 2, Pages: 1},
 	}
-	completed := h.Replay(reqs)
+	completed, err := h.Replay(reqs)
+	if err != nil {
+		t.Fatalf("replay rejected: %v", err)
+	}
 	e.Run()
 	if *completed != 3 {
 		t.Fatalf("completed = %d", *completed)
@@ -139,14 +142,75 @@ func TestClosedLoopMoreOutstandingMoreThroughput(t *testing.T) {
 	}
 }
 
-func TestSubmitInvalidPanics(t *testing.T) {
+func TestSubmitInvalidReturnsError(t *testing.T) {
 	e, h := testHost(t)
 	h.Warmup(8)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"zero pages", Request{Kind: stats.Read, LPN: 0, Pages: 0}},
+		{"negative pages", Request{Kind: stats.Read, LPN: 0, Pages: -3}},
+		{"unknown kind", Request{Kind: stats.IOKind(7), LPN: 0, Pages: 1}},
+		{"future arrival", Request{Arrival: 5 * sim.Microsecond, Kind: stats.Read, LPN: 0, Pages: 1}},
+	}
+	for _, tc := range cases {
+		if err := h.Submit(tc.req, nil); err == nil {
+			t.Errorf("%s: Submit accepted invalid request %+v", tc.name, tc.req)
+		}
+	}
+	// Rejections must not schedule anything or count as in flight.
+	if h.InFlight() != 0 {
+		t.Fatalf("rejected requests left %d in flight", h.InFlight())
+	}
+	if n := e.Run(); n != 0 {
+		t.Fatalf("rejected requests scheduled events (drained at %v)", n)
+	}
+	if h.Metrics().TotalRequests() != 0 {
+		t.Fatal("rejected requests recorded metrics")
+	}
+}
+
+func TestReplayRejectsMalformedTrace(t *testing.T) {
+	good := Request{Arrival: 10 * sim.Microsecond, Kind: stats.Read, LPN: 0, Pages: 1}
+	cases := []struct {
+		name string
+		reqs []Request
+	}{
+		{"zero pages", []Request{good, {Arrival: 20 * sim.Microsecond, Kind: stats.Read, Pages: 0}}},
+		{"unknown kind", []Request{good, {Arrival: 20 * sim.Microsecond, Kind: stats.IOKind(9), Pages: 1}}},
+		{"arrival in the past", []Request{{Arrival: -1, Kind: stats.Read, Pages: 1}}},
+	}
+	for _, tc := range cases {
+		e, h := testHost(t)
+		h.Warmup(64)
+		if _, err := h.Replay(tc.reqs); err == nil {
+			t.Errorf("%s: Replay accepted malformed trace", tc.name)
+		}
+		// A rejected trace must schedule nothing — not even its valid rows.
+		if e.Pending() != 0 {
+			t.Errorf("%s: rejected replay left %d events scheduled", tc.name, e.Pending())
+		}
+	}
+}
+
+func TestReplayPastArrivalAfterAdvance(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(64)
+	h.Submit(Request{Kind: stats.Read, LPN: 0, Pages: 1}, nil)
+	e.Run() // clock is now past zero
+	if _, err := h.Replay([]Request{{Arrival: 0, Kind: stats.Read, Pages: 1}}); err == nil {
+		t.Fatal("Replay accepted an arrival earlier than the current clock")
+	}
+}
+
+func TestMustReplayPanicsOnBadTrace(t *testing.T) {
+	_, h := testHost(t)
+	h.Warmup(64)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("zero-page request did not panic")
+			t.Fatal("MustReplay did not panic on a malformed trace")
 		}
 	}()
-	h.Submit(Request{Kind: stats.Read, LPN: 0, Pages: 0}, nil)
-	e.Run()
+	h.MustReplay([]Request{{Kind: stats.Read, Pages: 0}})
 }

@@ -47,7 +47,7 @@ func TestCheckerCleanAcrossArchitectures(t *testing.T) {
 			for _, arch := range Archs {
 				s := New(arch, cfg)
 				s.Host.Warmup(foot)
-				completed := s.Host.Replay(tr.Requests)
+				completed := s.Host.MustReplay(tr.Requests)
 				s.Run() // panics on any violation
 				if *completed != len(tr.Requests) {
 					t.Fatalf("%v: completed %d of %d", arch, *completed, len(tr.Requests))
@@ -79,7 +79,7 @@ func TestCheckerPassivity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		var buf bytes.Buffer
 		if err := s.WriteSummaryJSON(&buf); err != nil {
@@ -130,7 +130,7 @@ func TestCheckerCatchesCorruptedGCCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Host.Replay(tr.Requests)
+	s.Host.MustReplay(tr.Requests)
 	// Run the engine directly: SSD.Run would panic on the violation we
 	// want to inspect.
 	s.Engine.Run()

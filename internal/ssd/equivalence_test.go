@@ -41,7 +41,7 @@ func TestArchitecturesPreserveIdenticalLogicalState(t *testing.T) {
 	for _, arch := range Archs {
 		s := New(arch, cfg)
 		s.Host.Warmup(foot)
-		completed := s.Host.Replay(tr.Requests)
+		completed := s.Host.MustReplay(tr.Requests)
 		s.Run()
 		if *completed != len(tr.Requests) {
 			t.Fatalf("%v: completed %d of %d", arch, *completed, len(tr.Requests))
@@ -77,7 +77,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		return m.MeanLatency().Microseconds(), m.KIOPS(), s.Engine.EventsFired()

@@ -52,7 +52,7 @@ func TestArchitecturesPreserveLogicalStateUnderFaults(t *testing.T) {
 	for _, arch := range Archs {
 		s := New(arch, cfg)
 		s.Host.Warmup(foot)
-		completed := s.Host.Replay(tr.Requests)
+		completed := s.Host.MustReplay(tr.Requests)
 		s.Run()
 		if *completed != len(tr.Requests) {
 			t.Fatalf("%v: completed %d of %d under faults", arch, *completed, len(tr.Requests))
@@ -104,7 +104,7 @@ func TestFaultDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Host.Replay(tr.Requests)
+		s.Host.MustReplay(tr.Requests)
 		s.Run()
 		m := s.Metrics()
 		return m.MeanLatency().Microseconds(), m.KIOPS(), s.Engine.EventsFired(), s.RAS().String()
@@ -141,7 +141,7 @@ func TestDeadVChannelsDegradeButComplete(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		completed := s.Host.Replay(tr.Requests)
+		completed := s.Host.MustReplay(tr.Requests)
 		s.Run()
 		if *completed != len(tr.Requests) {
 			t.Fatalf("dead=%v: completed %d of %d", dead, *completed, len(tr.Requests))

@@ -108,6 +108,11 @@ type Config struct {
 	// detached, so the simulation is bit-identical to a build without
 	// checking.
 	Check *check.Config
+	// Frontend, when non-nil, builds a multi-tenant NVMe front end over
+	// the host: one submission/completion queue pair per tenant with the
+	// configured arbiter deciding dispatch order. Nil (the default) leaves
+	// the single-queue Host as the only entry point.
+	Frontend *host.FrontendConfig
 }
 
 // DefaultConfig returns the paper's Table II parameters: 8 channels, 8
@@ -144,6 +149,11 @@ func (c Config) Validate() {
 	}
 	if c.LogicalUtilization <= 0 || c.LogicalUtilization >= 1 {
 		panic("ssd: LogicalUtilization must be in (0,1)")
+	}
+	if c.Frontend != nil {
+		if err := c.Frontend.Validate(); err != nil {
+			panic(err)
+		}
 	}
 	if c.Fault != nil {
 		c.Fault.Validate()
@@ -183,6 +193,9 @@ type SSD struct {
 	Fabric controller.Fabric
 	FTL    *ftl.FTL
 	Host   *host.Host
+	// Frontend is the multi-tenant queue front end, nil unless
+	// Config.Frontend was set.
+	Frontend *host.Frontend
 	// Faults is the shared injector, nil unless Config.Fault was set.
 	Faults *fault.Injector
 	// Tracer is the trace recorder, nil unless Config.Trace was set.
@@ -365,6 +378,34 @@ func wireCheck(cfg Config, eng *sim.Engine, grid *controller.Grid, fab controlle
 	return ck
 }
 
+// wireFrontend builds the multi-tenant front end from cfg.Frontend (nil
+// when absent) and hooks it into tracing (one span track per tenant)
+// and the invariant checker (per-queue depth ledger, arbiter fairness
+// bound, per-tenant conservation, and a drained-front-end check).
+func wireFrontend(cfg Config, h *host.Host, rec *trace.Recorder, ck *check.Checker) *host.Frontend {
+	if cfg.Frontend == nil {
+		return nil
+	}
+	fe, err := host.NewFrontend(h, *cfg.Frontend)
+	if err != nil {
+		panic(err) // cfg.Validate already vetted the frontend config
+	}
+	if rec.Enabled() {
+		fe.SetTracer(rec)
+	}
+	if ck.Enabled() {
+		ck.WatchTenants(fe.NumTenants(), fe.StarvationBound())
+		fe.SetObserver(ck)
+		ck.AddDrainCheck("frontend-drained", func() error {
+			if !fe.Drained() {
+				return fmt.Errorf("front end has queued or inflight commands after drain (inflight=%d)", fe.Inflight())
+			}
+			return nil
+		})
+	}
+	return fe
+}
+
 // New builds an SSD of the given architecture. The SoC and NVMe
 // bandwidths are provisioned at the architecture's total flash-channel
 // bandwidth so they never bottleneck the interconnect under study
@@ -390,7 +431,8 @@ func New(arch Arch, cfg Config) *SSD {
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec, Checker: ck}
+	fe := wireFrontend(cfg, h, rec, ck)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -409,7 +451,8 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Faults: inj, Tracer: rec, Checker: ck}
+	fe := wireFrontend(cfg, h, rec, ck)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {

@@ -182,7 +182,7 @@ func TestEndToEndTraceReplayWithGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	completed := s.Host.Replay(tr.Requests)
+	completed := s.Host.MustReplay(tr.Requests)
 	s.Run()
 	if *completed != 400 {
 		t.Fatalf("completed %d of 400", *completed)

@@ -29,7 +29,7 @@ func runGCHeavy(t *testing.T, traced bool) *SSD {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Host.Replay(tr.Requests)
+	s.Host.MustReplay(tr.Requests)
 	s.Run()
 	return s
 }

@@ -51,6 +51,7 @@ const (
 	KindChip     = "chip"
 	KindSoc      = "soc"
 	KindHost     = "host"
+	KindTenant   = "tenant"
 	KindOther    = "resource"
 )
 
@@ -73,6 +74,7 @@ type SpanID struct {
 	id   uint64
 	cat  string
 	name string
+	tid  int
 }
 
 // KV is one key/value argument attached to an event. Values must be
@@ -212,12 +214,29 @@ func (r *Recorder) BeginSpan(cat, name string, args ...KV) SpanID {
 	return id
 }
 
+// BeginSpanOn opens an async span pinned to a registered track's
+// timeline row instead of the shared tid-0 row — the per-tenant request
+// tracks of the multi-queue front end. A nil track (from a disabled
+// recorder) falls back to BeginSpan's shared row.
+func (r *Recorder) BeginSpanOn(t *Track, cat, name string, args ...KV) SpanID {
+	if r == nil {
+		return SpanID{}
+	}
+	if t == nil {
+		return r.BeginSpan(cat, name, args...)
+	}
+	r.nextID++
+	id := SpanID{id: r.nextID, cat: cat, name: name, tid: t.id}
+	r.events = append(r.events, event{Name: name, Cat: cat, Ph: phAsyncBegin, Ts: r.eng.Now(), ID: id.id, Tid: t.id, Args: args})
+	return id
+}
+
 // EndSpan closes an async span; args are attached to the end event.
 func (r *Recorder) EndSpan(id SpanID, args ...KV) {
 	if r == nil || id.id == 0 {
 		return
 	}
-	r.events = append(r.events, event{Name: id.name, Cat: id.cat, Ph: phAsyncEnd, Ts: r.eng.Now(), ID: id.id, Args: args})
+	r.events = append(r.events, event{Name: id.name, Cat: id.cat, Ph: phAsyncEnd, Ts: r.eng.Now(), ID: id.id, Tid: id.tid, Args: args})
 }
 
 // Instant marks a point event (a routing decision, a fault) at the

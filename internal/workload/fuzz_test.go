@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// malformedCSVs is the shared rejection table: every shape ReadCSV must
+// refuse with an error (and, per FuzzReadCSV, must never panic on).
+var malformedCSVs = []struct {
+	name string
+	csv  string
+}{
+	{"empty", ""},
+	{"header only rows short", "arrival_ps,op,lpn\n1,R,2\n"},
+	{"short row", "arrival_ps,op,lpn,pages\n1,R,2\n"},
+	{"long row", "arrival_ps,op,lpn,pages\n1,R,2,3,4\n"},
+	{"bad op", "arrival_ps,op,lpn,pages\n1,X,2,3\n"},
+	{"non-numeric arrival", "arrival_ps,op,lpn,pages\nnotanumber,R,2,3\n"},
+	{"non-numeric lpn", "arrival_ps,op,lpn,pages\n1,R,abc,3\n"},
+	{"non-numeric pages", "arrival_ps,op,lpn,pages\n1,R,2,many\n"},
+	{"negative arrival", "arrival_ps,op,lpn,pages\n-5,R,2,3\n"},
+	{"negative lpn", "arrival_ps,op,lpn,pages\n1,R,-2,3\n"},
+	{"zero pages", "arrival_ps,op,lpn,pages\n1,R,2,0\n"},
+	{"negative pages", "arrival_ps,op,lpn,pages\n1,R,2,-1\n"},
+	{"huge pages", "arrival_ps,op,lpn,pages\n1,R,2,1048577\n"},
+	{"lpn near overflow", "arrival_ps,op,lpn,pages\n1,R,9223372036854775807,1\n"},
+	{"out of order", "arrival_ps,op,lpn,pages\n10,R,0,1\n5,W,8,1\n"},
+	{"bare quote", "arrival_ps,op,lpn,pages\n1,R,\"2,3\n"},
+	{"float arrival", "arrival_ps,op,lpn,pages\n1.5,R,2,3\n"},
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	for _, tc := range malformedCSVs {
+		if _, err := ReadCSV(strings.NewReader(tc.csv), "bad"); err == nil {
+			t.Errorf("%s: ReadCSV accepted %q", tc.name, tc.csv)
+		}
+	}
+}
+
+// FuzzReadCSV: ReadCSV takes untrusted trace files, so on arbitrary
+// bytes it must either return a valid trace or an error — never panic.
+// A returned trace must also satisfy the replay preconditions the
+// parser claims to enforce.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with real WriteCSV output...
+	tr, err := Named("rocksdb-0", 2048, 40, 9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("arrival_ps,op,lpn,pages\n0,R,0,1\n0,W,4,2\n"))
+	// ...and with every known-malformed shape.
+	for _, tc := range malformedCSVs {
+		f.Add([]byte(tc.csv))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		prev := int64(-1)
+		for i, r := range got.Requests {
+			if r.Pages <= 0 || r.Pages > MaxCSVReqPages {
+				t.Fatalf("request %d: page count %d escaped validation", i, r.Pages)
+			}
+			if r.LPN < 0 || r.LPN+int64(r.Pages) > got.Footprint {
+				t.Fatalf("request %d: [%d,%d) outside footprint %d", i, r.LPN, r.LPN+int64(r.Pages), got.Footprint)
+			}
+			if int64(r.Arrival) < prev {
+				t.Fatalf("request %d: arrival %d before previous %d", i, r.Arrival, prev)
+			}
+			prev = int64(r.Arrival)
+			if r.Tenant != 0 {
+				t.Fatalf("request %d: parser invented tenant %d", i, r.Tenant)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// Multi-tenant workload generation: each tenant gets its own open-loop
+// generator (preset or explicit params, footprint partition or overlap,
+// arrival-intensity scaling, optional bursty on/off phases) and the
+// per-tenant streams merge into one time-ordered trace whose requests
+// carry tenant IDs — ready for host.Frontend.Replay.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TenantSpec describes one tenant's workload and queue configuration.
+type TenantSpec struct {
+	Name string
+	// Preset names a workload family; Params overrides it when non-nil.
+	Preset string
+	Params *Params
+	// Requests is this tenant's request count.
+	Requests int
+
+	// Share is the fraction of the device footprint this tenant owns
+	// when footprints are partitioned; tenants with Share 0 split the
+	// unclaimed remainder equally. Overlap instead gives the tenant the
+	// whole footprint — the shared-dataset (and GC cross-talk) case.
+	Share   float64
+	Overlap bool
+
+	// Intensity scales arrival gaps: 2.0 doubles the tenant's arrival
+	// rate (halves gaps), 0 or 1 leaves the preset's intensity. Applied
+	// before on/off phasing.
+	Intensity float64
+	// On/Off, when Off > 0, compress the tenant's arrivals into
+	// alternating active/idle phases of the given lengths — the bursty
+	// noisy-neighbor shape. Arrivals keep their order.
+	On, Off sim.Time
+
+	// Queue-pair parameters forwarded to host.TenantConfig.
+	Weight   int
+	Burst    int
+	ReadSLO  sim.Time
+	WriteSLO sim.Time
+}
+
+// QueueConfig converts the spec's queue-pair parameters to the front
+// end's TenantConfig.
+func (s TenantSpec) QueueConfig() host.TenantConfig {
+	c := host.TenantConfig{Name: s.Name, Weight: s.Weight, Burst: s.Burst}
+	c.SLO[stats.Read] = s.ReadSLO
+	c.SLO[stats.Write] = s.WriteSLO
+	return c
+}
+
+// QueueConfigs converts every spec.
+func QueueConfigs(specs []TenantSpec) []host.TenantConfig {
+	out := make([]host.TenantConfig, len(specs))
+	for i, s := range specs {
+		out[i] = s.QueueConfig()
+	}
+	return out
+}
+
+// phase compresses an arrival timeline into on/off bursts: active time
+// accumulates during On-length windows separated by Off-length idle
+// gaps, so a tenant that would arrive continuously instead alternates
+// between full-rate activity and silence.
+func phase(a, on, off sim.Time) sim.Time {
+	if on <= 0 || off <= 0 {
+		return a
+	}
+	return (a/on)*(on+off) + a%on
+}
+
+// GenerateTenants builds each tenant's trace and merges them into one
+// time-ordered multi-tenant trace over the device footprint. Merging is
+// deterministic: ties in arrival time resolve by tenant ID, so the same
+// (specs, footprint, seed) always yields the same byte-for-byte trace.
+// Each tenant draws from an independent seed derived from the base seed
+// and its index.
+func GenerateTenants(specs []TenantSpec, footprint int64, seed int64) (Trace, error) {
+	if len(specs) == 0 {
+		return Trace{}, fmt.Errorf("workload: no tenant specs")
+	}
+	if footprint <= 0 {
+		return Trace{}, fmt.Errorf("workload: non-positive footprint %d", footprint)
+	}
+
+	// Partition the footprint: overlapping tenants see all of it;
+	// partitioned tenants carve contiguous slices sized by Share, with
+	// zero-Share tenants splitting the unclaimed remainder equally.
+	claimed := 0.0
+	unsized := 0
+	for i, s := range specs {
+		if s.Share < 0 || s.Share > 1 {
+			return Trace{}, fmt.Errorf("workload: tenant %d share %.2f outside [0,1]", i, s.Share)
+		}
+		if s.Overlap {
+			continue
+		}
+		if s.Share > 0 {
+			claimed += s.Share
+		} else {
+			unsized++
+		}
+	}
+	if claimed > 1.0001 {
+		return Trace{}, fmt.Errorf("workload: tenant shares sum to %.2f > 1", claimed)
+	}
+	equal := 0.0
+	if unsized > 0 {
+		equal = (1 - claimed) / float64(unsized)
+	}
+
+	var merged []host.Request
+	base := int64(0)
+	name := ""
+	for i, s := range specs {
+		if s.Requests <= 0 {
+			return Trace{}, fmt.Errorf("workload: tenant %d (%s) has %d requests", i, s.Name, s.Requests)
+		}
+		p := s.Params
+		if p == nil {
+			pr, ok := presets[s.Preset]
+			if !ok {
+				return Trace{}, fmt.Errorf("workload: tenant %d: unknown preset %q (have %v)", i, s.Preset, Names())
+			}
+			p = &pr.params
+		}
+		params := *p
+		if s.Intensity > 0 && s.Intensity != 1 {
+			params.MeanGap = sim.Time(float64(params.MeanGap) / s.Intensity)
+			if params.MeanGap <= 0 {
+				params.MeanGap = 1
+			}
+		}
+		span := footprint
+		off := int64(0)
+		if !s.Overlap {
+			share := s.Share
+			if share == 0 {
+				share = equal
+			}
+			span = int64(float64(footprint) * share)
+			if span < int64(params.ReqPages) {
+				return Trace{}, fmt.Errorf("workload: tenant %d (%s) footprint share %d pages is smaller than its %d-page requests", i, s.Name, span, params.ReqPages)
+			}
+			off = base
+			base += span
+		}
+		tr := Generate(s.Name, params, span, s.Requests, seed+int64(i)*0x9e37)
+		for _, r := range tr.Requests {
+			r.LPN += off
+			r.Arrival = phase(r.Arrival, s.On, s.Off)
+			r.Tenant = i
+			merged = append(merged, r)
+		}
+		if name != "" {
+			name += "+"
+		}
+		name += s.Name
+	}
+
+	sort.SliceStable(merged, func(a, b int) bool {
+		if merged[a].Arrival != merged[b].Arrival {
+			return merged[a].Arrival < merged[b].Arrival
+		}
+		return merged[a].Tenant < merged[b].Tenant
+	})
+	return Trace{Name: name, Requests: merged, Footprint: footprint}, nil
+}

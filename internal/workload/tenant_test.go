@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestQueueConfigsMapping(t *testing.T) {
+	specs := []TenantSpec{
+		{Name: "lat", Weight: 4, Burst: 0, ReadSLO: 300 * sim.Microsecond, WriteSLO: 800 * sim.Microsecond},
+		{Name: "bulk", Weight: 1, Burst: 4},
+	}
+	cfgs := QueueConfigs(specs)
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	if cfgs[0].Name != "lat" || cfgs[0].Weight != 4 || cfgs[0].Burst != 0 {
+		t.Fatalf("queue 0 = %+v", cfgs[0])
+	}
+	if cfgs[0].SLO[stats.Read] != 300*sim.Microsecond || cfgs[0].SLO[stats.Write] != 800*sim.Microsecond {
+		t.Fatalf("queue 0 SLOs = %v", cfgs[0].SLO)
+	}
+	if cfgs[1].Name != "bulk" || cfgs[1].Weight != 1 || cfgs[1].Burst != 4 || cfgs[1].SLO != [2]sim.Time{} {
+		t.Fatalf("queue 1 = %+v", cfgs[1])
+	}
+}
+
+func TestGenerateTenantsDeterministic(t *testing.T) {
+	specs := []TenantSpec{
+		{Name: "a", Preset: "web-0", Requests: 80, Intensity: 2},
+		{Name: "b", Preset: "update-0", Requests: 80, On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond},
+	}
+	t1, err := GenerateTenants(specs, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenerateTenants(specs, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Requests) != 160 || len(t2.Requests) != 160 {
+		t.Fatalf("request counts %d, %d", len(t1.Requests), len(t2.Requests))
+	}
+	for i := range t1.Requests {
+		if t1.Requests[i] != t2.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, t1.Requests[i], t2.Requests[i])
+		}
+	}
+	if t1.Name != "a+b" {
+		t.Fatalf("trace name %q", t1.Name)
+	}
+}
+
+// TestGenerateTenantsPartition: non-overlapping tenants must touch
+// disjoint LPN slices, shares must be honoured, and the merged trace
+// must be time-ordered with tenant-ID tie-breaks.
+func TestGenerateTenantsPartition(t *testing.T) {
+	const foot = 8192
+	specs := []TenantSpec{
+		{Name: "half", Preset: "rocksdb-0", Requests: 100, Share: 0.5},
+		{Name: "restA", Preset: "web-0", Requests: 100},
+		{Name: "restB", Preset: "mail-0", Requests: 100},
+	}
+	tr, err := GenerateTenants(specs, foot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous slices in spec order: [0,4096), [4096,6144), [6144,8192).
+	bounds := [][2]int64{{0, 4096}, {4096, 6144}, {6144, 8192}}
+	for i, r := range tr.Requests {
+		b := bounds[r.Tenant]
+		if r.LPN < b[0] || r.LPN+int64(r.Pages) > b[1] {
+			t.Fatalf("request %d (tenant %d) [%d,%d) escapes slice [%d,%d)",
+				i, r.Tenant, r.LPN, r.LPN+int64(r.Pages), b[0], b[1])
+		}
+		if i > 0 {
+			p, q := tr.Requests[i-1], r
+			if q.Arrival < p.Arrival || (q.Arrival == p.Arrival && q.Tenant < p.Tenant) {
+				t.Fatalf("merge order broken at %d: %+v after %+v", i, q, p)
+			}
+		}
+	}
+}
+
+// TestGenerateTenantsOverlap: an overlapping tenant roams the whole
+// footprint while its partitioned neighbour stays in its slice.
+func TestGenerateTenantsOverlap(t *testing.T) {
+	const foot = 4096
+	specs := []TenantSpec{
+		{Name: "shared", Preset: "rocksdb-0", Requests: 200, Overlap: true},
+		{Name: "own", Preset: "web-0", Requests: 50},
+	}
+	tr, err := GenerateTenants(specs, foot, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharedMax int64
+	for _, r := range tr.Requests {
+		if end := r.LPN + int64(r.Pages); r.LPN < 0 || end > foot {
+			t.Fatalf("request [%d,%d) outside footprint", r.LPN, end)
+		}
+		if r.Tenant == 0 {
+			if end := r.LPN + int64(r.Pages); end > sharedMax {
+				sharedMax = end
+			}
+		}
+	}
+	// The overlapping tenant was not confined to the partitioned slice.
+	if sharedMax <= foot/2 {
+		t.Fatalf("overlap tenant stayed below %d of %d pages", sharedMax, foot)
+	}
+}
+
+// TestGenerateTenantsBurstyPhases: with On/Off set, every arrival of
+// the bursty tenant lands inside an active window of the on/off cycle.
+func TestGenerateTenantsBurstyPhases(t *testing.T) {
+	on, off := 250*sim.Microsecond, 750*sim.Microsecond
+	specs := []TenantSpec{
+		{Name: "bursty", Preset: "update-0", Requests: 120, On: on, Off: off},
+		{Name: "steady", Preset: "web-0", Requests: 120},
+	}
+	tr, err := GenerateTenants(specs, 4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := on + off
+	for _, r := range tr.Requests {
+		if r.Tenant != 0 {
+			continue
+		}
+		if r.Arrival%cycle >= on {
+			t.Fatalf("bursty arrival %v lands in the off window (cycle %v, on %v)", r.Arrival, cycle, on)
+		}
+	}
+}
+
+// TestGenerateTenantsIntensity: Intensity 4 compresses a tenant's
+// arrival span by roughly 4x relative to the unscaled run.
+func TestGenerateTenantsIntensity(t *testing.T) {
+	span := func(intensity float64) sim.Time {
+		tr, err := GenerateTenants([]TenantSpec{
+			{Name: "x", Preset: "rocksdb-0", Requests: 200, Intensity: intensity},
+		}, 4096, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Duration()
+	}
+	base, fast := span(0), span(4)
+	ratio := float64(base) / float64(fast)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("intensity 4 compressed span by %.2fx, want ~4x (base %v, fast %v)", ratio, base, fast)
+	}
+}
+
+func TestGenerateTenantsParamsOverridePreset(t *testing.T) {
+	p := Params{ReadRatio: 1.0, ReqPages: 2, MeanGap: 10 * sim.Microsecond}
+	tr, err := GenerateTenants([]TenantSpec{
+		{Name: "custom", Preset: "update-0", Params: &p, Requests: 60},
+	}, 2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes, _ := tr.Mix()
+	if writes != 0 || reads != 60 {
+		t.Fatalf("explicit read-only Params ignored: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestGenerateTenantsRejects(t *testing.T) {
+	ok := TenantSpec{Name: "ok", Preset: "web-0", Requests: 10}
+	cases := []struct {
+		name  string
+		specs []TenantSpec
+		foot  int64
+		want  string
+	}{
+		{"no specs", nil, 1024, "no tenant specs"},
+		{"bad footprint", []TenantSpec{ok}, 0, "footprint"},
+		{"negative share", []TenantSpec{{Name: "x", Preset: "web-0", Requests: 10, Share: -0.1}}, 1024, "share"},
+		{"shares over 1", []TenantSpec{
+			{Name: "x", Preset: "web-0", Requests: 10, Share: 0.7},
+			{Name: "y", Preset: "web-0", Requests: 10, Share: 0.7},
+		}, 1024, "shares sum"},
+		{"zero requests", []TenantSpec{{Name: "x", Preset: "web-0"}}, 1024, "requests"},
+		{"unknown preset", []TenantSpec{{Name: "x", Preset: "nope", Requests: 10}}, 1024, "unknown preset"},
+		{"slice too small", []TenantSpec{
+			{Name: "x", Preset: "rocksdb-0", Requests: 10, Share: 0.001},
+			ok,
+		}, 1024, "smaller than"},
+	}
+	for _, tc := range cases {
+		_, err := GenerateTenants(tc.specs, tc.foot, 1)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPhase(t *testing.T) {
+	on, off := sim.Time(100), sim.Time(300)
+	cases := []struct{ in, want sim.Time }{
+		{0, 0},
+		{99, 99},   // still inside the first active window
+		{100, 400}, // first instant of the second window
+		{250, 850}, // two full cycles plus 50 into the third window
+	}
+	for _, c := range cases {
+		if got := phase(c.in, on, off); got != c.want {
+			t.Errorf("phase(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Zero on/off is the identity.
+	if got := phase(123, 0, 0); got != 123 {
+		t.Errorf("phase with no windows = %d, want 123", got)
+	}
+	if got := phase(123, 100, 0); got != 123 {
+		t.Errorf("phase with zero off = %d, want 123", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -277,31 +278,55 @@ func WriteCSV(w io.Writer, t Trace) error {
 	return cw.Error()
 }
 
-// ReadCSV loads a trace written by WriteCSV (or hand-converted from a real
-// trace).
+// MaxCSVReqPages bounds the per-request page count ReadCSV accepts. A
+// larger value is always a conversion bug (the biggest real-trace
+// request is a few MB), and the bound keeps lpn+pages arithmetic far
+// from integer overflow.
+const MaxCSVReqPages = 1 << 20
+
+// ReadCSV loads a trace written by WriteCSV (or hand-converted from a
+// real trace). The input is untrusted: every malformed shape — short or
+// long rows, non-numeric fields, non-positive page counts, negative
+// arrivals or LPNs, and out-of-order arrivals — returns an error rather
+// than producing a trace that would later crash a replay.
 func ReadCSV(r io.Reader, name string) (Trace, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row widths are checked per row below
 	rows, err := cr.ReadAll()
 	if err != nil {
-		return Trace{}, err
+		return Trace{}, fmt.Errorf("workload: bad trace CSV: %w", err)
 	}
 	if len(rows) == 0 {
 		return Trace{}, fmt.Errorf("workload: empty trace")
 	}
 	start := 0
-	if rows[0][0] == "arrival_ps" {
+	if len(rows[0]) > 0 && rows[0][0] == "arrival_ps" {
 		start = 1
 	}
 	t := Trace{Name: name}
+	prev := sim.Time(-1)
 	for i, row := range rows[start:] {
 		if len(row) != 4 {
-			return Trace{}, fmt.Errorf("workload: row %d has %d fields", i, len(row))
+			return Trace{}, fmt.Errorf("workload: row %d has %d fields, want 4", i, len(row))
 		}
 		at, err1 := strconv.ParseInt(row[0], 10, 64)
 		lpn, err2 := strconv.ParseInt(row[2], 10, 64)
 		pages, err3 := strconv.Atoi(row[3])
 		if err1 != nil || err2 != nil || err3 != nil {
 			return Trace{}, fmt.Errorf("workload: row %d unparseable", i)
+		}
+		if at < 0 {
+			return Trace{}, fmt.Errorf("workload: row %d negative arrival %d", i, at)
+		}
+		if sim.Time(at) < prev {
+			return Trace{}, fmt.Errorf("workload: row %d arrival %d before previous arrival %d — trace must be time-ordered", i, at, int64(prev))
+		}
+		prev = sim.Time(at)
+		if lpn < 0 || lpn > math.MaxInt64-MaxCSVReqPages {
+			return Trace{}, fmt.Errorf("workload: row %d lpn %d out of range", i, lpn)
+		}
+		if pages <= 0 || pages > MaxCSVReqPages {
+			return Trace{}, fmt.Errorf("workload: row %d page count %d outside [1,%d]", i, pages, MaxCSVReqPages)
 		}
 		kind := stats.Write
 		switch row[1] {

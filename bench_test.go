@@ -12,7 +12,9 @@ package main
 import (
 	"testing"
 
+	"repro/internal/array"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -194,6 +196,63 @@ func BenchmarkFig20bGCTime(b *testing.B) {
 		rows := exp.Fig20b(opt)
 		b.ReportMetric(rows[0].MeanGCTime.Milliseconds(), "base-gc-ms")
 		b.ReportMetric(rows[len(rows)-1].MeanGCTime.Milliseconds(), "pnssd-gc-ms")
+	}
+}
+
+// BenchmarkArrayRouter measures the erasure-coded array router alone —
+// shard placement, degraded-read reconstruction, retry-ladder routing,
+// and the throttled rebuild schedule for a mixed trace with one
+// mid-trace device kill. No device simulation runs, so ns/op tracks
+// pure planning throughput; device-ops is the fan-out the plan emits.
+func BenchmarkArrayRouter(b *testing.B) {
+	dc := ssd.ScaledConfig()
+	dc.Channels, dc.Ways = 2, 2
+	dc.Geometry.Planes = 2
+	dc.Geometry.BlocksPerPlane = 8
+	dc.Geometry.PagesPerBlock = 16
+	dc.LogicalUtilization = 0.75
+	cfg := array.Config{
+		Arch:   ssd.ArchPnSSDSplit,
+		Device: dc,
+		Data:   2, Parity: 1,
+		Groups:             2,
+		Spares:             1,
+		Seed:               1,
+		RebuildPagesPerSec: 200_000,
+		Failures:           []fault.DeviceEvent{{Device: 0, At: 2 * sim.Millisecond}},
+	}
+	cfg = cfg.WithDefaults()
+	tr, err := workload.Named("rocksdb-0", cfg.LogicalPages(), 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := array.BuildPlan(cfg, tr.Requests)
+		b.ReportMetric(float64(p.DeviceOps()), "device-ops")
+		b.ReportMetric(float64(p.RAS.DegradedReads), "degraded-reads")
+	}
+}
+
+// BenchmarkArraySweep regenerates the rack-scale array study and reports
+// the rebuild-interference headline: p99 while rebuilding vs healthy,
+// for SpGC on pnSSD+split.
+func BenchmarkArraySweep(b *testing.B) {
+	opt := quickOpts()
+	opt.TraceRequests = 200
+	for i := 0; i < b.N; i++ {
+		rows := exp.ArraySweep(opt)
+		for _, r := range rows {
+			if r.Arch == ssd.ArchPnSSDSplit && r.GC == ftl.GCSpatial {
+				switch r.Scenario {
+				case exp.ArrayHealthy:
+					b.ReportMetric(r.P99.Milliseconds(), "healthy-p99-ms")
+				case exp.ArrayRebuilding:
+					b.ReportMetric(r.P99.Milliseconds(), "rebuild-p99-ms")
+					b.ReportMetric(r.RebuildTime.Milliseconds(), "rebuild-ms")
+				}
+			}
+		}
 	}
 }
 

@@ -77,7 +77,7 @@ func startProfiles(cpuPath, memPath string) func() {
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant (empty = all)")
+	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant,array (empty = all)")
 	table := flag.String("table", "", "table to print: 1,2,3")
 	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
 	faultExp := flag.String("fault", "", "fault/RAS experiment: sweep (fault-rate x architecture), degraded (v-channel kill + grant drops), all")
@@ -142,6 +142,7 @@ func main() {
 		"20b":        fig20b,
 		"contention": figContention,
 		"tenant":     figTenant,
+		"array":      figArray,
 	}
 	tables := map[string]func(exp.Options, func(*report.Table)){
 		"1": table1,
@@ -537,6 +538,24 @@ func figTenant(opt exp.Options, emit func(*report.Table)) {
 			t.Add(r.Point.Label(), tn.Name, tn.Mean.String(), tn.P50.String(), tn.P95.String(),
 				tn.P99.String(), tn.P999.String(), report.F1(tn.KIOPS), fmt.Sprint(tn.SLOViolations))
 		}
+	}
+	emit(t)
+}
+
+func figArray(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.ArraySweep(opt)
+	t := report.New("Rack-scale erasure-coded array: 2 groups of 2+1 + spare, rocksdb-0 (supplementary analysis)",
+		"architecture", "gc", "scenario", "mean", "p99", "KIOPS",
+		"degraded reads", "rebuild pages", "rebuild time", "failed reads", "GC copies", "ok")
+	for _, r := range rows {
+		ok := "yes"
+		if !r.OK {
+			ok = "NO"
+		}
+		t.Add(r.Arch.String(), r.GC.String(), string(r.Scenario),
+			r.Latency.String(), r.P99.String(), report.F1(r.KIOPS),
+			fmt.Sprint(r.RAS.DegradedReads), fmt.Sprint(r.RAS.RebuildPages),
+			r.RebuildTime.String(), fmt.Sprint(r.RAS.FailedReads), fmt.Sprint(r.GCCopies), ok)
 	}
 	emit(t)
 }

@@ -17,6 +17,8 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/array"
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/host"
 	"repro/internal/runner"
@@ -41,7 +43,7 @@ var patterns = map[string]workload.Pattern{
 }
 
 func main() {
-	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants")
+	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants, rebuildrate")
 	archFlag := flag.String("arch", "pnssd+split", "architecture (comma list allowed)")
 	patternFlag := flag.String("pattern", "rand-read", "synthetic pattern")
 	arbiterFlag := flag.String("arbiter", "rr", "queue arbiter for the tenants sweep: rr, wrr, dwrr")
@@ -66,6 +68,13 @@ func main() {
 			fatalf("unknown architecture %q", name)
 		}
 		archs = append(archs, a)
+	}
+
+	// The rebuild-rate sweep runs whole erasure-coded arrays rather than
+	// single devices, so it prints its own CSV schema and returns.
+	if strings.ToLower(*param) == "rebuildrate" {
+		runRebuildRateSweep(archs, *requests, *seed)
+		return
 	}
 
 	type point struct {
@@ -204,6 +213,57 @@ func main() {
 			m.KIOPS())
 	})
 	fmt.Printf("param,arch,pattern,x,mean_us,p99_us,kiops\n")
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+}
+
+// runRebuildRateSweep replays a mixed trace on a 2-group 2+1 array with
+// one mid-trace device kill, sweeping the rebuild throttle: faster
+// rebuild shortens the re-protection window but steals more device
+// bandwidth from foreground I/O.
+func runRebuildRateSweep(archs []ssd.Arch, requests int, seed int64) {
+	rates := []int{50_000, 100_000, 200_000, 400_000, 800_000}
+	rows := runner.MapDefault(len(archs)*len(rates), func(i int) string {
+		arch, rate := archs[i/len(rates)], rates[i%len(rates)]
+		dc := ssd.ScaledConfig()
+		dc.Channels, dc.Ways = 2, 2
+		dc.Geometry.Planes = 2
+		dc.Geometry.BlocksPerPlane = 8
+		dc.Geometry.PagesPerBlock = 16
+		dc.LogicalUtilization = 0.75
+		dc.FTL.GCMode = ftl.GCSpatial
+		cfg := array.Config{
+			Arch:   arch,
+			Device: dc,
+			Data:   2, Parity: 1,
+			Groups:             2,
+			Spares:             1,
+			Seed:               seed,
+			ChurnFraction:      0.5,
+			RebuildPagesPerSec: rate,
+		}
+		tr, err := workload.Named("rocksdb-0", cfg.LogicalPages(), requests, seed)
+		if err != nil {
+			panic(err)
+		}
+		quarter := tr.Requests[len(tr.Requests)/4].Arrival
+		cfg.Failures = []fault.DeviceEvent{{Device: 0, At: quarter}}
+		res := array.Run(cfg, tr.Requests, 1)
+		if err := res.Err(); err != nil {
+			panic(err)
+		}
+		m := res.Metrics
+		return fmt.Sprintf("rebuildrate,%s,rocksdb-0,%d,%.2f,%.2f,%.1f,%.2f,%d,%d",
+			arch, rate,
+			m.MeanLatency().Microseconds(),
+			m.Combined().P99().Microseconds(),
+			m.KIOPS(),
+			res.RebuildTime.Milliseconds(),
+			res.RAS.DegradedReads,
+			res.RAS.FailedReads)
+	})
+	fmt.Printf("param,arch,workload,rate_pps,mean_us,p99_us,kiops,rebuild_ms,degraded_reads,failed_reads\n")
 	for _, row := range rows {
 		fmt.Println(row)
 	}

@@ -1,0 +1,271 @@
+package array
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/check"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/host"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+// Result is one array run's outcome.
+type Result struct {
+	// Metrics holds host-visible array-request latencies and throughput.
+	Metrics *stats.IOMetrics
+	// RAS is the router's reliability ledger.
+	RAS *stats.ArrayRAS
+	// RebuildTime is from first kill detection to the last rebuild spare
+	// write's simulated completion; zero when no rebuild ran.
+	RebuildTime sim.Time
+	// SimTime is the latest device drain time.
+	SimTime sim.Time
+	// Incomplete counts array requests whose shard operations never all
+	// completed — must stay zero on a healthy run.
+	Incomplete int
+	// Violations aggregates array-level invariant breaches plus any
+	// per-device checker failures (only populated with cfg.Check).
+	Violations []check.Violation
+	// Devices exposes every member simulation for per-device digests
+	// (GC counters, RAS, bus occupancy).
+	Devices []*ssd.SSD
+}
+
+// Err returns an error when any invariant was violated or any request
+// left incomplete.
+func (r *Result) Err() error {
+	if r.Incomplete > 0 {
+		return fmt.Errorf("array: %d requests incomplete", r.Incomplete)
+	}
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("array: %d violation(s), first: %s", len(r.Violations), r.Violations[0])
+	}
+	return nil
+}
+
+// churnLPNs returns the deterministic churn sequence for one device —
+// the same bounded overwrite pass exp.warm applies, but recorded so the
+// content invariants know which LPNs carry the churn token. Seeded per
+// device so groups don't churn in lockstep.
+func churnLPNs(cfg Config, dev int) []int64 {
+	if cfg.ChurnFraction <= 0 {
+		return nil
+	}
+	foot := cfg.Device.LogicalPages()
+	headroom := cfg.Device.RawPages() - foot
+	churn := int64(float64(foot) * cfg.ChurnFraction)
+	if limit := headroom / 2; churn > limit {
+		churn = limit
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(dev)*1009))
+	out := make([]int64, churn)
+	for i := range out {
+		out[i] = rng.Int63n(foot)
+	}
+	return out
+}
+
+// deviceOut is what each parallel device job returns.
+type deviceOut struct {
+	s     *ssd.SSD
+	times []sim.Time
+	end   sim.Time
+}
+
+// Run plans the array, simulates every member device (fanning out over
+// `parallel` workers — each device is a fully independent simulation),
+// reassembles array-level latencies, and evaluates the array
+// invariants. Results are byte-identical at any parallelism: all
+// routing was decided in BuildPlan and reassembly is an arithmetic join
+// over per-device completion times.
+func Run(cfg Config, reqs []host.Request, parallel int) *Result {
+	cfg = cfg.WithDefaults()
+	plan := BuildPlan(cfg, reqs)
+	return RunPlanned(cfg, plan, parallel)
+}
+
+// RunPlanned executes a pre-built plan (the split exists so benchmarks
+// can measure planning and simulation separately).
+func RunPlanned(cfg Config, plan *Plan, parallel int) *Result {
+	cfg = cfg.WithDefaults()
+	label := func(dev int) string {
+		role := "coded"
+		if dev >= cfg.Groups*cfg.Width() {
+			role = "spare"
+		}
+		return fmt.Sprintf("%s dev%d %s/%d+%d", role, dev, cfg.Arch, cfg.Data, cfg.Parity)
+	}
+	outs := runner.MapLabeled(parallel, cfg.Devices(), label, func(dev int) deviceOut {
+		dcfg := cfg.Device
+		if cfg.Check {
+			dcfg.Check = &check.Config{}
+		}
+		if cfg.Trace != nil {
+			tc := *cfg.Trace
+			tc.TrackPrefix = fmt.Sprintf("dev%d/", dev)
+			dcfg.Trace = &tc
+		}
+		s := ssd.New(cfg.Arch, dcfg)
+		foot := s.Config.LogicalPages()
+		s.Host.Warmup(foot)
+		for _, lpn := range churnLPNs(cfg, dev) {
+			s.FTL.Reinstall(lpn, ftl.TokenFor(lpn, 1))
+		}
+		times := s.Host.MustReplayTimed(plan.Device[dev])
+		end := s.Engine.Run()
+		return deviceOut{s: s, times: times, end: end}
+	})
+
+	res := &Result{
+		Metrics: stats.NewIOMetrics(),
+		RAS:     plan.RAS,
+		Devices: make([]*ssd.SSD, len(outs)),
+	}
+	var ck *check.ArrayChecker
+	if cfg.Check {
+		ck = check.NewArrayChecker(0)
+	}
+	for dev, o := range outs {
+		res.Devices[dev] = o.s
+		if o.end > res.SimTime {
+			res.SimTime = o.end
+		}
+	}
+
+	// Reassemble: an array request completes when the last of its shard
+	// operations does (never earlier than its issue floor), plus the
+	// reconstruction tail and the fixed route overhead.
+	for i, pr := range plan.reqs {
+		complete := sim.Time(0)
+		ok := true
+		for _, pg := range pr.pages {
+			pc := pg.floor
+			for _, op := range pg.ops {
+				at := outs[op.dev].times[op.idx]
+				if at < 0 {
+					ok = false
+					break
+				}
+				if at > pc {
+					pc = at
+				}
+			}
+			if !ok {
+				break
+			}
+			if pc+pg.tail > complete {
+				complete = pc + pg.tail
+			}
+		}
+		if !ok {
+			res.Incomplete++
+			continue
+		}
+		complete += cfg.RouteLatency
+		res.Metrics.Record(pr.kind, pr.arrival, complete, pr.bytes)
+		ck.Ack(int64(i), complete)
+	}
+
+	// Rebuild time: detection to the last rebuild write's completion.
+	for _, op := range plan.rebuildOps {
+		if at := outs[op.dev].times[op.idx]; at >= 0 && at-plan.detectAt > res.RebuildTime {
+			res.RebuildTime = at - plan.detectAt
+		}
+	}
+
+	if cfg.Check {
+		res.Violations = verify(cfg, plan, outs, ck, res.SimTime)
+	}
+	return res
+}
+
+// verify evaluates the array invariants against the drained devices.
+func verify(cfg Config, plan *Plan, outs []deviceOut, ck *check.ArrayChecker, at sim.Time) []check.Violation {
+	var vs []check.Violation
+
+	// Per-device invariants first: each member's own checker already
+	// audited bus legality, page conservation, and drain cleanliness.
+	for dev, o := range outs {
+		if err := o.s.VerifyInvariants(); err != nil {
+			vs = append(vs, check.Violation{Time: at, Rule: fmt.Sprintf("device-%d", dev), Detail: err.Error()})
+		}
+	}
+
+	// Expected shard content: churn then host writes, matching the
+	// host's own version accounting (first host write is version 1, the
+	// same token churn installs).
+	churned := make([]map[int64]bool, cfg.Devices())
+	for dev := range churned {
+		churned[dev] = make(map[int64]bool)
+		for _, lpn := range churnLPNs(cfg, dev) {
+			churned[dev][lpn] = true
+		}
+	}
+	expected := func(dev int, lpn int64) flash.Token {
+		if n := plan.writes[dev][lpn]; n > 0 {
+			return ftl.TokenFor(lpn, n)
+		}
+		if churned[dev][lpn] {
+			return ftl.TokenFor(lpn, 1)
+		}
+		return ftl.TokenFor(lpn, 0)
+	}
+	probe := func(dev int, lpn int64) (flash.Token, bool) {
+		s := outs[dev].s
+		id, addr, ok := s.FTL.Map(lpn)
+		if !ok {
+			return 0, false
+		}
+		chip := s.Grid.Chip(id)
+		if chip.PageStateAt(addr) != flash.PageProgrammed {
+			return 0, false
+		}
+		return chip.ContentAt(addr), true
+	}
+	// shardOK: the lane's shard is readable and current — on its home
+	// device when that device survived, or on the fresh spare copy when
+	// it did not.
+	horizon := at
+	shardOK := func(group int) func(stripe int64, lane int) bool {
+		return func(stripe int64, lane int) bool {
+			s := cfg.shardAt(group, stripe, lane)
+			dev := s.dev
+			if plan.sched.DeadAt(dev, horizon) {
+				spare, fresh := plan.spareFreshAt(dev, s.lpn, horizon)
+				if !fresh {
+					return false
+				}
+				dev = spare
+			}
+			got, ok := probe(dev, s.lpn)
+			return ok && got == expected(dev, s.lpn)
+		}
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		ck.CheckStripeConservation(cfg.StripesPerGroup(), cfg.Width(), cfg.Data, shardOK(g), at)
+	}
+
+	// Rebuild completeness: with the scheduler on, every stripe of a
+	// spared kill must be re-protected by drain.
+	if cfg.RebuildPagesPerSec > 0 {
+		for _, k := range plan.sched.Kills() {
+			spare, ok := plan.spareOf[k.Device]
+			if !ok {
+				continue
+			}
+			ck.CheckRebuildComplete(cfg.StripesPerGroup(), func(stripe int64) bool {
+				_, fresh := plan.fresh[spare][stripe]
+				return fresh
+			}, at)
+		}
+	}
+
+	ck.CheckAllAcked(int64(len(plan.reqs)), at)
+	plan.RAS.DoubleAcks = ck.DoubleAcks()
+	return append(vs, ck.Violations()...)
+}

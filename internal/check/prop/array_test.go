@@ -1,0 +1,59 @@
+package prop
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateArrayDeterministic(t *testing.T) {
+	a := GenerateArray(7, 12)
+	b := GenerateArray(7, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateArray is not deterministic for a fixed seed")
+	}
+	if reflect.DeepEqual(a, GenerateArray(8, 12)) {
+		t.Fatal("different seeds produced identical array cases")
+	}
+	kills, outages := 0, 0
+	for _, c := range a {
+		if c.Kill {
+			kills++
+		} else {
+			if c.Outages == 0 {
+				t.Fatalf("%v: no failure mode at all", c)
+			}
+			outages++
+		}
+	}
+	if kills == 0 || outages == 0 {
+		t.Fatalf("generator never varied the failure mode: %d kills, %d outage cases", kills, outages)
+	}
+}
+
+func TestArrayPropertiesHold(t *testing.T) {
+	cases := GenerateArray(1, 8)
+	results := RunArrayAll(cases, 4)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%v", r.Err)
+		}
+	}
+}
+
+func TestArrayRunParallelismInvariant(t *testing.T) {
+	cases := GenerateArray(3, 4)
+	seq := RunArrayAll(cases, 1)
+	par := RunArrayAll(cases, 4)
+	for i := range cases {
+		if seq[i].Err != nil {
+			t.Fatalf("sequential: %v", seq[i].Err)
+		}
+		if par[i].Err != nil {
+			t.Fatalf("parallel: %v", par[i].Err)
+		}
+		if seq[i].Digest != par[i].Digest {
+			t.Errorf("%v: digest diverged across worker counts:\n seq %s\n par %s",
+				cases[i], seq[i].Digest, par[i].Digest)
+		}
+	}
+}

@@ -465,6 +465,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 	// re-requests, and when the retry budget is exhausted it fails over
 	// to the controller-relayed path — a grant is never awaited forever.
 	attempts := 0
+	var waited sim.Time
 	var grantSpan trace.SpanID
 	if f.trc.Enabled() {
 		grantSpan = f.trc.BeginSpan("gc", "grant-wait",
@@ -478,7 +479,17 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 				ras.GrantDrops++
 				cfg := f.faults.Config()
 				attempts++
-				if attempts > cfg.GrantRetryMax {
+				backoff := cfg.GrantTimeout << uint(attempts-1)
+				// The ladder is doubly bounded: by retry count and by the
+				// cumulative backoff-time budget. Either bound exhausting
+				// fails the copy over to the relay path; a budget-triggered
+				// failover (the count alone would have kept retrying) is
+				// tallied separately so the report distinguishes "gave up
+				// after N tries" from "ran out of time".
+				if attempts > cfg.GrantRetryMax || waited+backoff > cfg.GrantBackoffBudget {
+					if attempts <= cfg.GrantRetryMax {
+						ras.GrantBudgetExhausted++
+					}
 					ras.CopyFailovers++
 					f.relayedCopies++
 					if f.check != nil {
@@ -489,7 +500,8 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 					return
 				}
 				ras.GrantRetries++
-				f.eng.Schedule(cfg.GrantTimeout<<uint(attempts-1), arbitrate)
+				waited += backoff
+				f.eng.Schedule(backoff, arbitrate)
 				return
 			}
 			f.soc.CtrlMsg(func() { // buffer-status check at destination ctrl

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/fault"
+	"repro/internal/ftl"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ArrayScenario names one health state of the rack-scale sweep.
+type ArrayScenario string
+
+const (
+	// ArrayHealthy runs with no failures.
+	ArrayHealthy ArrayScenario = "healthy"
+	// ArrayDegraded kills one device at t=0 with rebuild disabled, so
+	// every read of its shards reconstructs for the whole run.
+	ArrayDegraded ArrayScenario = "degraded"
+	// ArrayRebuilding kills one device a quarter of the way through the
+	// trace with the throttled rebuild scheduler on, so recovery traffic,
+	// foreground I/O, and per-device GC contend.
+	ArrayRebuilding ArrayScenario = "rebuilding"
+)
+
+// ArrayScenarios is the sweep order.
+var ArrayScenarios = []ArrayScenario{ArrayHealthy, ArrayDegraded, ArrayRebuilding}
+
+// ArraySweepRow is one (architecture, GC mode, scenario) point.
+type ArraySweepRow struct {
+	Arch     ssd.Arch
+	GC       ftl.GCMode
+	Scenario ArrayScenario
+
+	Latency sim.Time
+	P99     sim.Time
+	KIOPS   float64
+
+	RAS         *stats.ArrayRAS
+	RebuildTime sim.Time
+	// GCCopies sums GC page movement across all member devices — the
+	// rebuild-interference signal SpGC vs PaGC is expected to move.
+	GCCopies int64
+	// OK reports a clean run: every request completed, zero failed host
+	// reads, and (when the checker is attached) zero invariant violations.
+	OK bool
+}
+
+// ArrayRebuildRate is the throttle used by the rebuilding scenario.
+const ArrayRebuildRate = 200_000 // pages/s
+
+// arrayCfg shrinks the per-device organization so a 7-device array
+// simulates in seconds: the interconnect behaviour under study is
+// per-device and unaffected by the smaller grid, and the array router
+// only consumes device completion times.
+func arrayCfg(opt Options, arch ssd.Arch, mode ftl.GCMode) array.Config {
+	dc := *opt.Cfg
+	dc.Channels, dc.Ways = 2, 2
+	dc.Geometry.Planes = 2
+	if dc.Geometry.BlocksPerPlane > 8 {
+		dc.Geometry.BlocksPerPlane = 8
+	}
+	if dc.Geometry.PagesPerBlock > 16 {
+		dc.Geometry.PagesPerBlock = 16
+	}
+	dc.LogicalUtilization = opt.GCUtilization
+	dc.FTL.GCMode = mode
+	return array.Config{
+		Arch:   arch,
+		Device: dc,
+		Data:   2, Parity: 1,
+		Groups:        2,
+		Spares:        1,
+		Seed:          opt.Seed,
+		ChurnFraction: opt.ChurnFraction,
+		Check:         opt.Cfg.Check != nil,
+	}
+}
+
+// ArraySweep measures the erasure-coded array tier across
+// {pnSSD, pnSSD+split} x {PaGC, SpGC} x {healthy, degraded, rebuilding}:
+// host-visible mean and p99 latency, rebuild time, and the RAS ledger.
+// The acceptance property rides along in OK — killing one device of an
+// m+k group must never fail a host read.
+func ArraySweep(opt Options) []ArraySweepRow {
+	opt = opt.withDefaults()
+	archs := []ssd.Arch{ssd.ArchPnSSD, ssd.ArchPnSSDSplit}
+	modes := []ftl.GCMode{ftl.GCParallel, ftl.GCSpatial}
+	n := len(archs) * len(modes) * len(ArrayScenarios)
+	label := func(i int) string {
+		arch := archs[i/(len(modes)*len(ArrayScenarios))]
+		mode := modes[i/len(ArrayScenarios)%len(modes)]
+		sc := ArrayScenarios[i%len(ArrayScenarios)]
+		return fmt.Sprintf("array %v/%v/%v", arch, mode, sc)
+	}
+	return runner.MapLabeledDefault(n, label, func(i int) ArraySweepRow {
+		arch := archs[i/(len(modes)*len(ArrayScenarios))]
+		mode := modes[i/len(ArrayScenarios)%len(modes)]
+		sc := ArrayScenarios[i%len(ArrayScenarios)]
+
+		cfg := arrayCfg(opt, arch, mode)
+		tr, err := workload.Named("rocksdb-0", cfg.LogicalPages(), opt.TraceRequests, opt.Seed)
+		if err != nil {
+			panic(err)
+		}
+		switch sc {
+		case ArrayDegraded:
+			cfg.Failures = []fault.DeviceEvent{{Device: 0, At: 0}}
+		case ArrayRebuilding:
+			quarter := tr.Requests[len(tr.Requests)/4].Arrival
+			cfg.Failures = []fault.DeviceEvent{{Device: 0, At: quarter}}
+			cfg.RebuildPagesPerSec = ArrayRebuildRate
+		}
+
+		// The sweep parallelizes across points; each point simulates its
+		// member devices sequentially to keep the worker pool flat.
+		res := array.Run(cfg, tr.Requests, 1)
+		var copies int64
+		for _, s := range res.Devices {
+			copies += s.FTL.Stats().GCPagesCopied
+		}
+		m := res.Metrics
+		return ArraySweepRow{
+			Arch:        arch,
+			GC:          mode,
+			Scenario:    sc,
+			Latency:     m.MeanLatency(),
+			P99:         m.Combined().P99(),
+			KIOPS:       m.KIOPS(),
+			RAS:         res.RAS,
+			RebuildTime: res.RebuildTime,
+			GCCopies:    copies,
+			OK:          res.Err() == nil && res.RAS.FailedReads == 0,
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+func TestArraySweepQuick(t *testing.T) {
+	opt := Quick()
+	opt.TraceRequests = 200
+	opt.Cfg.Check = &check.Config{} // the sweep must hold under the checker
+	rows := ArraySweep(opt)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%v/%v/%v: run not clean: %s", r.Arch, r.GC, r.Scenario, r.RAS)
+		}
+		if r.Latency <= 0 || r.KIOPS <= 0 {
+			t.Errorf("%v/%v/%v: degenerate metrics mean=%v kiops=%.1f", r.Arch, r.GC, r.Scenario, r.Latency, r.KIOPS)
+		}
+		switch r.Scenario {
+		case ArrayHealthy:
+			if r.RAS.DegradedReads != 0 || r.RebuildTime != 0 {
+				t.Errorf("%v/%v healthy row shows failure work: %s", r.Arch, r.GC, r.RAS)
+			}
+		case ArrayDegraded:
+			if r.RAS.DegradedReads == 0 {
+				t.Errorf("%v/%v degraded row has no degraded reads", r.Arch, r.GC)
+			}
+			if r.RAS.RebuildPages != 0 {
+				t.Errorf("%v/%v degraded row rebuilt %d pages with rebuild off", r.Arch, r.GC, r.RAS.RebuildPages)
+			}
+		case ArrayRebuilding:
+			if r.RAS.RebuildPages == 0 || r.RebuildTime <= 0 {
+				t.Errorf("%v/%v rebuilding row did not rebuild: %s", r.Arch, r.GC, r.RAS)
+			}
+		}
+	}
+}

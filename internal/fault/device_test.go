@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDeviceScheduleKillSemantics(t *testing.T) {
+	s := NewDeviceSchedule([]DeviceEvent{
+		{Device: 2, At: 100 * sim.Microsecond},
+		{Device: 2, At: 50 * sim.Microsecond}, // earliest kill wins
+		{Device: 5, At: 0},
+	})
+	if s.DeadAt(2, 49*sim.Microsecond) {
+		t.Fatal("device dead before its kill time")
+	}
+	if !s.DeadAt(2, 50*sim.Microsecond) || !s.DeadAt(2, sim.Second) {
+		t.Fatal("device not dead at/after its kill time")
+	}
+	if at, ok := s.KilledAt(2); !ok || at != 50*sim.Microsecond {
+		t.Fatalf("KilledAt(2) = %v,%v, want 50us,true", at, ok)
+	}
+	if !s.DeadAt(5, 0) {
+		t.Fatal("t=0 kill not dead at t=0")
+	}
+	if _, ok := s.KilledAt(3); ok || s.DeadAt(3, sim.Second) {
+		t.Fatal("unkilled device reported dead")
+	}
+	kills := s.Kills()
+	if len(kills) != 3 || kills[0].Device != 5 || kills[1].Device != 2 || kills[2].Device != 2 {
+		t.Fatalf("Kills() order wrong: %v", kills)
+	}
+}
+
+func TestDeviceScheduleTransientWindows(t *testing.T) {
+	s := NewDeviceSchedule([]DeviceEvent{
+		{Device: 1, At: 10, Transient: true, Until: 20},
+		{Device: 1, At: 15, Transient: true, Until: 40}, // overlapping: latest end wins
+	})
+	if s.Outages() != 2 {
+		t.Fatalf("Outages() = %d, want 2", s.Outages())
+	}
+	if _, out := s.UnavailableAt(1, 9); out {
+		t.Fatal("unavailable before the window")
+	}
+	if until, out := s.UnavailableAt(1, 10); !out || until != 20 {
+		t.Fatalf("UnavailableAt(1,10) = %v,%v, want 20,true", until, out)
+	}
+	if until, out := s.UnavailableAt(1, 16); !out || until != 40 {
+		t.Fatalf("overlapping windows: until = %v,%v, want 40,true", until, out)
+	}
+	if _, out := s.UnavailableAt(1, 40); out {
+		t.Fatal("window end is exclusive")
+	}
+	if s.AvailableAt(1, 16) || !s.AvailableAt(1, 40) {
+		t.Fatal("AvailableAt disagrees with the outage windows")
+	}
+}
+
+// A nil schedule is the healthy array: every query must be answerable
+// without conditional wiring at call sites.
+func TestDeviceScheduleNilIsHealthy(t *testing.T) {
+	var s *DeviceSchedule
+	if s.DeadAt(0, sim.Second) || !s.AvailableAt(7, 0) {
+		t.Fatal("nil schedule reported a failure")
+	}
+	if _, ok := s.KilledAt(0); ok {
+		t.Fatal("nil schedule reported a kill")
+	}
+	if s.Kills() != nil || s.Outages() != 0 {
+		t.Fatal("nil schedule reported events")
+	}
+}
+
+func TestDeviceScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   DeviceEvent
+	}{
+		{"negative device", DeviceEvent{Device: -1, At: 0}},
+		{"negative time", DeviceEvent{Device: 0, At: -1}},
+		{"empty window", DeviceEvent{Device: 0, At: 10, Transient: true, Until: 10}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: NewDeviceSchedule did not panic", c.name)
+				}
+			}()
+			NewDeviceSchedule([]DeviceEvent{c.ev})
+		}()
+	}
+}
+
+func TestRandomOutagesDeterministicAndBounded(t *testing.T) {
+	a := RandomOutages(7, 8, 16, sim.Second, 10*sim.Millisecond)
+	b := RandomOutages(7, 8, 16, sim.Second, 10*sim.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different outage schedules")
+	}
+	if len(a) != 16 {
+		t.Fatalf("got %d outages, want 16", len(a))
+	}
+	for i, e := range a {
+		if !e.Transient {
+			t.Fatalf("outage %d is not transient", i)
+		}
+		if e.Device < 0 || e.Device >= 8 {
+			t.Fatalf("outage %d device %d out of range", i, e.Device)
+		}
+		if e.At < 0 || e.At >= sim.Second {
+			t.Fatalf("outage %d start %v outside horizon", i, e.At)
+		}
+		if d := e.Until - e.At; d < 1 || d > 10*sim.Millisecond {
+			t.Fatalf("outage %d duration %v outside (0,10ms]", i, d)
+		}
+	}
+	c := RandomOutages(8, 8, 16, sim.Second, 10*sim.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if RandomOutages(7, 0, 4, sim.Second, sim.Millisecond) != nil {
+		t.Fatal("zero devices should yield nil")
+	}
+}

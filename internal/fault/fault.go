@@ -95,13 +95,21 @@ type Config struct {
 
 	// Interconnect. GrantDropRate loses request/grant exchanges; a
 	// dropped grant resolves after GrantTimeout<<attempt and retries up
-	// to GrantRetryMax times before failing over to the relay path.
+	// to GrantRetryMax times — within GrantBackoffBudget of cumulative
+	// backoff — before failing over to the relay path.
 	// DeadVChannels lists v-channel indexes that are hard-failed from t=0
 	// (the kill-switch can also be thrown mid-run via KillVChannel).
 	GrantDropRate float64
 	GrantTimeout  sim.Time // default 5us
 	GrantRetryMax int      // default 3
-	DeadVChannels []int
+	// GrantBackoffBudget caps the total backoff time one grant exchange
+	// may accumulate before failing over, independent of the retry count.
+	// The default covers the full default ladder (the count bound fires
+	// first); setting it lower trades recovery attempts for a hard bound
+	// on added latency, and every budget-triggered failover is tallied in
+	// RAS.GrantBudgetExhausted.
+	GrantBackoffBudget sim.Time
+	DeadVChannels      []int
 }
 
 // withDefaults fills the retry-ladder and timeout knobs.
@@ -120,6 +128,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GrantRetryMax == 0 {
 		c.GrantRetryMax = 3
+	}
+	if c.GrantBackoffBudget == 0 {
+		// Wide enough for the whole exponential ladder at the configured
+		// retry count: sum of GrantTimeout<<i for i<GrantRetryMax is
+		// GrantTimeout*(2^GrantRetryMax - 1), so twice the top term covers
+		// it and the count bound remains the default failover trigger.
+		c.GrantBackoffBudget = c.GrantTimeout << uint(c.GrantRetryMax)
 	}
 	return c
 }
@@ -148,6 +163,9 @@ func (c Config) Validate() {
 	}
 	if c.ReadRetryMax < 0 || c.GrantRetryMax < 0 {
 		panic("fault: negative retry bound")
+	}
+	if c.GrantBackoffBudget < 0 {
+		panic("fault: negative grant backoff budget")
 	}
 	for _, v := range c.DeadVChannels {
 		if v < 0 {

@@ -207,6 +207,45 @@ func (h *Host) Replay(reqs []Request) (*int, error) {
 	return completed, nil
 }
 
+// ReplayTimed is Replay returning per-request completion times: entry i
+// is when request i's completion fired, or -1 if it never completed by
+// the time the engine drained. Array-level reassembly needs the
+// per-request view — a stripe's host latency is the max over its shard
+// completions — where the aggregate IOMetrics histogram is not enough.
+func (h *Host) ReplayTimed(reqs []Request) ([]sim.Time, error) {
+	now := h.eng.Now()
+	for i, r := range reqs {
+		if r.Arrival < now {
+			return nil, fmt.Errorf("host: request %d arrival %v is in the past (now %v)", i, r.Arrival, now)
+		}
+		if err := r.validate(r.Arrival); err != nil {
+			return nil, fmt.Errorf("host: request %d: %w", i, err)
+		}
+	}
+	times := make([]sim.Time, len(reqs))
+	for i := range times {
+		times[i] = -1
+	}
+	for i, r := range reqs {
+		i, r := i, r
+		h.eng.At(r.Arrival, func() {
+			r.Arrival = h.eng.Now()
+			h.mustSubmit(r, func() { times[i] = h.eng.Now() })
+		})
+	}
+	return times, nil
+}
+
+// MustReplayTimed is ReplayTimed for traces generated in-process,
+// panicking on a validation failure.
+func (h *Host) MustReplayTimed(reqs []Request) []sim.Time {
+	times, err := h.ReplayTimed(reqs)
+	if err != nil {
+		panic(err)
+	}
+	return times
+}
+
 // MustReplay replays a trace the caller knows is well-formed (generated
 // in-process, not loaded from disk), panicking on a validation failure —
 // the convenience the experiment drivers use. Untrusted traces go

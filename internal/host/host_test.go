@@ -102,6 +102,41 @@ func TestReplayOpenLoop(t *testing.T) {
 	}
 }
 
+// ReplayTimed must report one completion time per request, ordered like
+// the input trace, each at or after its arrival and consistent with the
+// aggregate metrics.
+func TestReplayTimedReportsPerRequestCompletions(t *testing.T) {
+	e, h := testHost(t)
+	h.Warmup(64)
+	reqs := []Request{
+		{Arrival: 10 * sim.Microsecond, Kind: stats.Read, LPN: 0, Pages: 1},
+		{Arrival: 20 * sim.Microsecond, Kind: stats.Write, LPN: 1, Pages: 1},
+		{Arrival: 30 * sim.Microsecond, Kind: stats.Read, LPN: 2, Pages: 1},
+	}
+	times, err := h.ReplayTimed(reqs)
+	if err != nil {
+		t.Fatalf("replay rejected: %v", err)
+	}
+	for i, at := range times {
+		if at != -1 {
+			t.Fatalf("request %d completed (%v) before the engine ran", i, at)
+		}
+	}
+	e.Run()
+	for i, at := range times {
+		if at < reqs[i].Arrival {
+			t.Fatalf("request %d completed at %v before arrival %v", i, at, reqs[i].Arrival)
+		}
+	}
+	if h.Metrics().TotalRequests() != 3 {
+		t.Fatal("metrics missing requests")
+	}
+	bad := []Request{{Arrival: -1, Kind: stats.Read, LPN: 0, Pages: 1}}
+	if _, err := h.ReplayTimed(bad); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
 func TestRunClosedLoopMaintainsOutstanding(t *testing.T) {
 	e, h := testHost(t)
 	h.Warmup(64)

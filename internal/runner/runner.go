@@ -60,13 +60,52 @@ type jobPanic struct {
 // the first panicking index's value after all workers have stopped
 // picking up new work.
 func Map[T any](parallel, n int, job func(i int) T) []T {
+	return mapLabeled(parallel, n, nil, job)
+}
+
+// MapLabeled is Map with a per-item label: when a job panics, the panic
+// that resurfaces on the calling goroutine names the offending item —
+// "job 7 (pnSSD+split/SpGC/rebuilding)" instead of a bare index — so a
+// sweep-point failure can be reproduced from the message alone. label is
+// only called on failure; it must be safe to call for any index. Unlike
+// Map, the sequential path also wraps the panic, so the message is
+// uniform at any parallelism.
+func MapLabeled[T any](parallel, n int, label func(i int) string, job func(i int) T) []T {
+	if label == nil {
+		panic("runner: MapLabeled requires a label function")
+	}
+	return mapLabeled(parallel, n, label, job)
+}
+
+// describe renders one failed job for the re-panic message.
+func describe(index int, label func(i int) string) string {
+	if label == nil {
+		return fmt.Sprintf("job %d", index)
+	}
+	return fmt.Sprintf("job %d (%s)", index, label(index))
+}
+
+func mapLabeled[T any](parallel, n int, label func(i int) string, job func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
 	if parallel <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = job(i)
+			if label == nil {
+				// Bare Map keeps the pre-parallelism behavior: the panic
+				// propagates with its original stack intact.
+				out[i] = job(i)
+				continue
+			}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						panic(fmt.Sprintf("runner: %s panicked: %v", describe(i, label), v))
+					}
+				}()
+				out[i] = job(i)
+			}()
 		}
 		return out
 	}
@@ -114,7 +153,7 @@ func Map[T any](parallel, n int, job func(i int) T) []T {
 	}
 	wg.Wait()
 	if failed {
-		panic(fmt.Sprintf("runner: job %d panicked: %v", failure.index, failure.value))
+		panic(fmt.Sprintf("runner: %s panicked: %v", describe(failure.index, label), failure.value))
 	}
 	return out
 }
@@ -122,4 +161,9 @@ func Map[T any](parallel, n int, job func(i int) T) []T {
 // MapDefault is Map at the process-wide default parallelism.
 func MapDefault[T any](n int, job func(i int) T) []T {
 	return Map(Default(), n, job)
+}
+
+// MapLabeledDefault is MapLabeled at the process-wide default parallelism.
+func MapLabeledDefault[T any](n int, label func(i int) string, job func(i int) T) []T {
+	return MapLabeled(Default(), n, label, job)
 }

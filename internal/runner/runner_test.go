@@ -61,6 +61,62 @@ func TestMapPanicPropagates(t *testing.T) {
 	})
 }
 
+// A labeled map must name the offending sweep point — index AND its
+// config description — in the propagated panic, at any parallelism.
+func TestMapLabeledPanicCarriesConfig(t *testing.T) {
+	label := func(i int) string { return "arch=pnSSD/gc=SpGC/point=" + string(rune('a'+i)) }
+	for _, p := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("parallel=%d: worker panic did not propagate", p)
+				}
+				s, ok := v.(string)
+				if !ok {
+					t.Fatalf("parallel=%d: propagated panic %v is not a message", p, v)
+				}
+				for _, want := range []string{"job 5", "arch=pnSSD/gc=SpGC/point=f", "kaboom"} {
+					if !strings.Contains(s, want) {
+						t.Fatalf("parallel=%d: panic %q missing %q", p, s, want)
+					}
+				}
+			}()
+			MapLabeled(p, 16, label, func(i int) int {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// The label function is only consulted on failure, so an expensive
+// formatter costs nothing on the happy path.
+func TestMapLabeledSuccessNeverCallsLabel(t *testing.T) {
+	var calls atomic.Int64
+	label := func(i int) string { calls.Add(1); return "x" }
+	got := MapLabeled(4, 64, label, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("label called %d times on success, want 0", calls.Load())
+	}
+}
+
+func TestMapLabeledNilLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapLabeled(nil label) did not panic")
+		}
+	}()
+	MapLabeled(1, 4, nil, func(i int) int { return i })
+}
+
 func TestSetDefaultClampsToOne(t *testing.T) {
 	old := Default()
 	defer SetDefault(old)

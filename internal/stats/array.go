@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ArrayRAS aggregates reliability events over one array-level run: what
+// the device-failure schedule did and how the cluster router and rebuild
+// scheduler recovered. It is the rack-scale sibling of RAS, which counts
+// intra-device recovery; one array run carries both (an ArrayRAS for the
+// router plus one RAS per device).
+type ArrayRAS struct {
+	// Failure schedule.
+	DeviceKills      int64 // permanent whole-device failures that took effect
+	TransientOutages int64 // transient unavailability windows in the schedule
+
+	// Router read path.
+	RouterRetries       int64 // reads retried against an unresponsive device
+	RetryExhausted      int64 // reads whose bounded retry/backoff budget ran out
+	DegradedReads       int64 // pages served by m-of-(m+k) reconstruction
+	ReconstructionReads int64 // surviving-shard reads issued for reconstruction
+	SpareReads          int64 // dead-shard reads served directly from the rebuilt spare
+	FailedReads         int64 // pages with fewer than m live shards — data loss
+
+	// Router write path.
+	RedirectedWrites int64 // shard writes redirected from a dead device to its spare
+	DeferredWrites   int64 // shard writes delayed past a transient window
+	LostWrites       int64 // shard writes dropped: dead device and no spare mapped
+
+	// Rebuild scheduler.
+	RebuildPages   int64 // shards re-protected onto the spare
+	RebuildReads   int64 // surviving-shard reads issued by rebuild
+	RebuildSkipped int64 // stripes skipped because a redirected write already re-protected them
+
+	// Acknowledgement ledger.
+	DoubleAcks int64 // array requests acknowledged more than once — must stay 0
+}
+
+// NewArrayRAS returns zeroed counters.
+func NewArrayRAS() *ArrayRAS { return &ArrayRAS{} }
+
+// Rows returns (label, value) pairs in a fixed order, the canonical form
+// reports and determinism tests consume.
+func (r *ArrayRAS) Rows() [][2]string {
+	n := func(v int64) string { return fmt.Sprint(v) }
+	return [][2]string{
+		{"device kills", n(r.DeviceKills)},
+		{"transient outages", n(r.TransientOutages)},
+		{"router retries", n(r.RouterRetries)},
+		{"retry budget exhausted", n(r.RetryExhausted)},
+		{"degraded reads", n(r.DegradedReads)},
+		{"reconstruction reads", n(r.ReconstructionReads)},
+		{"spare reads", n(r.SpareReads)},
+		{"failed reads", n(r.FailedReads)},
+		{"redirected writes", n(r.RedirectedWrites)},
+		{"deferred writes", n(r.DeferredWrites)},
+		{"lost writes", n(r.LostWrites)},
+		{"rebuild pages", n(r.RebuildPages)},
+		{"rebuild reads", n(r.RebuildReads)},
+		{"rebuild skipped (fresh)", n(r.RebuildSkipped)},
+		{"double acks", n(r.DoubleAcks)},
+	}
+}
+
+// String renders every counter on one line, deterministically.
+func (r *ArrayRAS) String() string {
+	parts := make([]string, 0, 16)
+	for _, row := range r.Rows() {
+		parts = append(parts, row[0]+"="+row[1])
+	}
+	return strings.Join(parts, " ")
+}

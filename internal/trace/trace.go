@@ -42,6 +42,11 @@ type Config struct {
 	// timelines are always recorded; the per-transition counters make
 	// queue dynamics visible in Perfetto at the cost of trace size.
 	QueueCounters bool
+	// TrackPrefix is prepended to every track name. Array runs trace many
+	// devices whose internal resources share names ("nvme", "h0", die
+	// grids); a per-device prefix like "dev3/" keeps the merged view
+	// unambiguous without renaming any resource.
+	TrackPrefix string
 }
 
 // Track kinds, used to group tracks in exports and heatmap tables.
@@ -90,6 +95,7 @@ type Recorder struct {
 	eng    *sim.Engine
 	window sim.Time
 	qctr   bool
+	prefix string
 
 	events []event
 	tracks map[string]*Track
@@ -110,6 +116,7 @@ func New(eng *sim.Engine, cfg Config) *Recorder {
 		eng:    eng,
 		window: w,
 		qctr:   cfg.QueueCounters,
+		prefix: cfg.TrackPrefix,
 		tracks: make(map[string]*Track),
 	}
 }
@@ -129,11 +136,15 @@ func (r *Recorder) Window() sim.Time {
 // RegisterTrack declares a track up front so it appears in the export
 // (with stable ordering) even if it never records an event — the
 // guarantee behind "one track per h-channel, v-channel, and chip".
-// Registering an existing name returns the existing track.
+// Registering an existing name returns the existing track. The
+// configured TrackPrefix is applied here, the single naming point, so
+// every caller and every auto-registered resource agrees on the final
+// name.
 func (r *Recorder) RegisterTrack(name, kind string) *Track {
 	if r == nil {
 		return nil
 	}
+	name = r.prefix + name
 	if t, ok := r.tracks[name]; ok {
 		return t
 	}
@@ -143,9 +154,10 @@ func (r *Recorder) RegisterTrack(name, kind string) *Track {
 	return t
 }
 
-// track resolves a name, auto-registering unknown resources.
+// track resolves a raw (unprefixed) name, auto-registering unknown
+// resources.
 func (r *Recorder) track(name string) *Track {
-	if t, ok := r.tracks[name]; ok {
+	if t, ok := r.tracks[r.prefix+name]; ok {
 		return t
 	}
 	return r.RegisterTrack(name, KindOther)
@@ -194,7 +206,7 @@ func (r *Recorder) ResourceQueue(res *sim.Resource, depth int, at sim.Time) {
 	t.tl.SetDepth(depth, at)
 	if r.qctr {
 		r.events = append(r.events, event{
-			Name: res.Name() + " queue", Cat: "queue", Ph: phCounter, Ts: at, Tid: t.id,
+			Name: t.Name + " queue", Cat: "queue", Ph: phCounter, Ts: at, Tid: t.id,
 			Args: []KV{{K: "depth", V: depth}},
 		})
 	}

@@ -231,6 +231,33 @@ func TestSpanIDsPairUp(t *testing.T) {
 	}
 }
 
+// A TrackPrefix must apply at every naming point — explicit
+// registration, auto-registration from a resource hold, and repeat
+// registration must all resolve to the same prefixed track.
+func TestTrackPrefixAppliesEverywhere(t *testing.T) {
+	eng, rec := newTestRecorder(Config{TrackPrefix: "dev3/"})
+	rec.RegisterTrack("h0", KindHChannel)
+	if tr := rec.Tracks(KindHChannel); len(tr) != 1 || tr[0].Name != "dev3/h0" {
+		t.Fatalf("registered tracks: %+v", tr)
+	}
+	// Registering the raw name again must not mint a second track.
+	rec.RegisterTrack("h0", KindHChannel)
+	if tr := rec.Tracks(KindHChannel); len(tr) != 1 {
+		t.Fatalf("re-registration duplicated the track: %+v", tr)
+	}
+	// Auto-registration through an observer callback sees the raw
+	// resource name and must land on the prefixed track.
+	res := sim.NewResource(eng, "nvme")
+	rec.ResourceHold(res, "hold", 0, 0, sim.Microsecond)
+	if tr := rec.Tracks(KindOther); len(tr) != 1 || tr[0].Name != "dev3/nvme" {
+		t.Fatalf("auto-registered tracks: %+v", tr)
+	}
+	rec.ResourceHold(res, "hold", sim.Microsecond, sim.Microsecond, 2*sim.Microsecond)
+	if tr := rec.Tracks(""); len(tr) != 2 {
+		t.Fatalf("repeat hold duplicated a track: %+v", tr)
+	}
+}
+
 func TestAutoRegisteredTrackGetsOtherKind(t *testing.T) {
 	_, rec := newTestRecorder(Config{})
 	res := sim.NewResource(sim.NewEngine(), "mystery")

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 )
 
@@ -88,12 +90,17 @@ func main() {
 	reqs := flag.Int("requests", 0, "override trace request count")
 	traceOut := flag.String("trace", "", "run one instrumented GC-heavy run and write a Chrome trace-event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "run one instrumented GC-heavy run and write the run-summary JSON to this file")
+	telemetryOut := flag.String("telemetry", "", "with -fig array: run the rebuilding scenario with telemetry enabled and write the run-document JSON to this file (render with cmd/report)")
+	progress := flag.Bool("progress", false, "print completed-jobs / event-rate / ETA lines to stderr while sweeps run")
 	parallel := flag.Int("parallel", runner.Default(), "worker count for independent simulation runs (1 = sequential)")
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	runner.SetDefault(*parallel)
+	if *progress {
+		runner.EnableProgress(os.Stderr, sim.EventsFiredTotal)
+	}
 	stop := startProfiles(*cpuProf, *memProf)
 	defer stop()
 
@@ -115,6 +122,15 @@ func main() {
 
 	if *traceOut != "" || *metricsOut != "" {
 		runTraced(opt, *traceOut, *metricsOut)
+		return
+	}
+
+	if *telemetryOut != "" {
+		if *fig != "array" {
+			fmt.Fprintln(os.Stderr, "-telemetry requires -fig array")
+			os.Exit(2)
+		}
+		writeArrayTelemetry(opt, *telemetryOut)
 		return
 	}
 
@@ -178,6 +194,26 @@ func main() {
 			runners[name](opt, emit)
 		}
 	}
+}
+
+// writeArrayTelemetry runs the rebuilding array scenario with telemetry
+// enabled and writes the run-document JSON for cmd/report.
+func writeArrayTelemetry(opt exp.Options, path string) {
+	doc := exp.ArrayTelemetryRun(opt)
+	fh, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("telemetry: %s (%s/%s rebuilding, %d requests, p99 %.2fms, rebuild %.1fms)\n",
+		path, doc.Arch, doc.GC, doc.Requests, doc.P99Ms, doc.RebuildMs)
 }
 
 // runTraced performs one instrumented GC-heavy run (pnSSD+split, SpGC,

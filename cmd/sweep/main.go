@@ -22,6 +22,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/host"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
@@ -52,10 +53,14 @@ func main() {
 	outstanding := flag.Int("outstanding", 16, "outstanding depth (fixed dims; front-end inflight cap for tenants)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runner.Default(), "worker count for sweep points (1 = sequential)")
+	progress := flag.Bool("progress", false, "print completed-jobs / event-rate / ETA lines to stderr while the sweep runs")
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	runner.SetDefault(*parallel)
+	if *progress {
+		runner.EnableProgress(os.Stderr, sim.EventsFiredTotal)
+	}
 
 	p, ok := patterns[strings.ToLower(*patternFlag)]
 	if !ok {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// Trace, when set, records per-device traces with a "devN/" track
 	// prefix so the merged view stays unambiguous.
 	Trace *trace.Config
+	// Telemetry, when set, produces an array-level time-series summary:
+	// windowed throughput/latency over the reassembled request stream
+	// plus rebuild progress per window and rebuild start/end marks. The
+	// series are computed arithmetically from joined per-device
+	// completion times, so they are byte-identical at any parallelism.
+	Telemetry *telemetry.Config
 }
 
 // WithDefaults fills zero timing knobs.

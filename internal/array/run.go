@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Result is one array run's outcome.
@@ -34,6 +35,9 @@ type Result struct {
 	// Devices exposes every member simulation for per-device digests
 	// (GC counters, RAS, bus occupancy).
 	Devices []*ssd.SSD
+	// Telemetry is the array-level time-series summary, nil unless
+	// cfg.Telemetry was set.
+	Telemetry *telemetry.Summary
 }
 
 // Err returns an error when any invariant was violated or any request
@@ -137,6 +141,14 @@ func RunPlanned(cfg Config, plan *Plan, parallel int) *Result {
 		}
 	}
 
+	// Array-level telemetry is fed from the same joined completion
+	// times the metrics use, in plan order — deterministic regardless
+	// of device parallelism.
+	var col *telemetry.Collector
+	if cfg.Telemetry != nil {
+		col = telemetry.New(*cfg.Telemetry)
+	}
+
 	// Reassemble: an array request completes when the last of its shard
 	// operations does (never earlier than its issue floor), plus the
 	// reconstruction tail and the fixed route overhead.
@@ -168,14 +180,25 @@ func RunPlanned(cfg Config, plan *Plan, parallel int) *Result {
 		}
 		complete += cfg.RouteLatency
 		res.Metrics.Record(pr.kind, pr.arrival, complete, pr.bytes)
+		col.RecordCompletion(pr.kind, pr.arrival, complete, pr.bytes)
 		ck.Ack(int64(i), complete)
 	}
 
 	// Rebuild time: detection to the last rebuild write's completion.
 	for _, op := range plan.rebuildOps {
-		if at := outs[op.dev].times[op.idx]; at >= 0 && at-plan.detectAt > res.RebuildTime {
-			res.RebuildTime = at - plan.detectAt
+		if at := outs[op.dev].times[op.idx]; at >= 0 {
+			col.RebuildPage(at)
+			if at-plan.detectAt > res.RebuildTime {
+				res.RebuildTime = at - plan.detectAt
+			}
 		}
+	}
+	if col.Enabled() {
+		if len(plan.rebuildOps) > 0 {
+			col.AddMark("rebuild-detect", plan.detectAt)
+			col.AddMark("rebuild-complete", plan.detectAt+res.RebuildTime)
+		}
+		res.Telemetry = col.Summary(res.SimTime)
 	}
 
 	if cfg.Check {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -57,6 +58,10 @@ type OmnibusFabric struct {
 	// trc records logical spans (grant arbitration, copies) and routing
 	// instants; nil (the default) disables tracing with no overhead.
 	trc *trace.Recorder
+
+	// tel feeds the grant-wait time series; nil (the default) disables
+	// telemetry with no overhead.
+	tel *telemetry.Collector
 
 	// check receives routing decisions for GC copies; nil (the default)
 	// disables checking with no overhead.
@@ -181,6 +186,10 @@ func (f *OmnibusFabric) SetAdaptive(on bool) {
 // SetTracer attaches a trace recorder for control-plane spans and
 // routing-decision instants; nil (the default) detaches.
 func (f *OmnibusFabric) SetTracer(t *trace.Recorder) { f.trc = t }
+
+// SetTelemetry attaches a telemetry collector recording grant-wait
+// intervals and grant-drop events; nil (the default) detaches.
+func (f *OmnibusFabric) SetTelemetry(c *telemetry.Collector) { f.tel = c }
 
 // CopyChecker receives one notification per GC copy when its route is
 // decided: direct reports whether the copy takes the flash-to-flash
@@ -465,6 +474,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 	// re-requests, and when the retry budget is exhausted it fails over
 	// to the controller-relayed path — a grant is never awaited forever.
 	attempts := 0
+	arbStart := f.eng.Now()
 	var waited sim.Time
 	var grantSpan trace.SpanID
 	if f.trc.Enabled() {
@@ -477,6 +487,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 			if f.faults.Draw(fault.GrantDrop) {
 				ras := f.faults.RAS()
 				ras.GrantDrops++
+				f.tel.Event("grant-drop", f.eng.Now())
 				cfg := f.faults.Config()
 				attempts++
 				backoff := cfg.GrantTimeout << uint(attempts-1)
@@ -496,6 +507,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 						f.check.CopyRouted(src, dst, false)
 					}
 					f.trc.EndSpan(grantSpan)
+					f.tel.GrantWait(arbStart, f.eng.Now())
 					f.relayCopy(src, from, dst, to, done)
 					return
 				}
@@ -516,6 +528,7 @@ func (f *OmnibusFabric) Copy(src ChipID, from flash.PPA, dst ChipID, to flash.PP
 						f.check.CopyRouted(src, dst, true)
 					}
 					f.trc.EndSpan(grantSpan)
+					f.tel.GrantWait(arbStart, f.eng.Now())
 					fin := done
 					if f.trc.Enabled() {
 						sp := f.trc.BeginSpan("gc", "direct-copy",

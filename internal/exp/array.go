@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -79,6 +80,58 @@ func arrayCfg(opt Options, arch ssd.Arch, mode ftl.GCMode) array.Config {
 		Seed:          opt.Seed,
 		ChurnFraction: opt.ChurnFraction,
 		Check:         opt.Cfg.Check != nil,
+	}
+}
+
+// ArrayTelemetryDoc is the run document the -telemetry flag writes and
+// cmd/report consumes: one rebuilding-scenario array run with its
+// windowed time series, rebuild marks, and headline aggregates.
+type ArrayTelemetryDoc struct {
+	Name      string             `json:"name"`
+	Arch      string             `json:"arch"`
+	GC        string             `json:"gc"`
+	Scenario  string             `json:"scenario"`
+	Requests  int64              `json:"requests"`
+	MeanMs    float64            `json:"mean_ms"`
+	P99Ms     float64            `json:"p99_ms"`
+	RebuildMs float64            `json:"rebuild_ms"`
+	Telemetry *telemetry.Summary `json:"telemetry"`
+}
+
+// ArrayTelemetryRun runs the PR 6 headline scenario — pnSSD+split,
+// SpGC, one device killed a quarter into the trace with the throttled
+// rebuild on — with array-level telemetry enabled, and returns the run
+// document. The time series shows host p99 per window roughly doubling
+// inside the [rebuild-detect, rebuild-complete] mark window. The
+// member devices fan out across the default worker pool; the telemetry
+// is computed from joined completion times, so the document is
+// byte-identical at any -parallel count.
+func ArrayTelemetryRun(opt Options) ArrayTelemetryDoc {
+	opt = opt.withDefaults()
+	cfg := arrayCfg(opt, ssd.ArchPnSSDSplit, ftl.GCSpatial)
+	tr, err := workload.Named("rocksdb-0", cfg.LogicalPages(), opt.TraceRequests, opt.Seed)
+	if err != nil {
+		panic(err)
+	}
+	quarter := tr.Requests[len(tr.Requests)/4].Arrival
+	cfg.Failures = []fault.DeviceEvent{{Device: 0, At: quarter}}
+	cfg.RebuildPagesPerSec = ArrayRebuildRate
+	cfg.Telemetry = &telemetry.Config{}
+	res := array.Run(cfg, tr.Requests, runner.Default())
+	if err := res.Err(); err != nil {
+		panic(err)
+	}
+	m := res.Metrics
+	return ArrayTelemetryDoc{
+		Name:      "array-rebuild rocksdb-0",
+		Arch:      ssd.ArchPnSSDSplit.String(),
+		GC:        ftl.GCSpatial.String(),
+		Scenario:  string(ArrayRebuilding),
+		Requests:  m.TotalRequests(),
+		MeanMs:    m.MeanLatency().Milliseconds(),
+		P99Ms:     m.Combined().P99().Milliseconds(),
+		RebuildMs: res.RebuildTime.Milliseconds(),
+		Telemetry: res.Telemetry,
 	}
 }
 

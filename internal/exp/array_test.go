@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"encoding/json"
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/runner"
 )
 
 func TestArraySweepQuick(t *testing.T) {
@@ -38,5 +40,61 @@ func TestArraySweepQuick(t *testing.T) {
 				t.Errorf("%v/%v rebuilding row did not rebuild: %s", r.Arch, r.GC, r.RAS)
 			}
 		}
+	}
+}
+
+// TestArrayTelemetryRunDocument is the acceptance gate for the
+// -telemetry export: the rebuilding-scenario run document carries the
+// windowed series, both rebuild marks, and is byte-identical whether
+// the member devices simulate sequentially or in parallel.
+func TestArrayTelemetryRunDocument(t *testing.T) {
+	opt := Quick()
+	opt.TraceRequests = 200
+
+	old := runner.Default()
+	defer runner.SetDefault(old)
+
+	runner.SetDefault(1)
+	seq := ArrayTelemetryRun(opt)
+	runner.SetDefault(8)
+	par := ArrayTelemetryRun(opt)
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(par)
+	if string(a) != string(b) {
+		t.Fatalf("telemetry document depends on parallelism:\n%s\n%s", a, b)
+	}
+
+	tel := seq.Telemetry
+	if tel == nil {
+		t.Fatal("document has no telemetry section")
+	}
+	if tel.Windows <= 1 {
+		t.Fatalf("only %d windows", tel.Windows)
+	}
+	for _, name := range []string{"throughput", "lat_p99", "rebuild"} {
+		sr := tel.SeriesByName(name)
+		if sr == nil {
+			t.Fatalf("series %q missing", name)
+		}
+		var total float64
+		for _, v := range sr.Values {
+			total += v
+		}
+		if total == 0 {
+			t.Fatalf("series %q is all zero", name)
+		}
+	}
+	if len(tel.Marks) != 2 ||
+		tel.Marks[0].Name != "rebuild-detect" || tel.Marks[1].Name != "rebuild-complete" {
+		t.Fatalf("rebuild marks %+v", tel.Marks)
+	}
+	if tel.Marks[1].AtUs <= tel.Marks[0].AtUs {
+		t.Fatalf("rebuild completes (%v) before detection (%v)", tel.Marks[1].AtUs, tel.Marks[0].AtUs)
+	}
+	if seq.RebuildMs <= 0 || seq.P99Ms <= 0 || seq.Requests != 200 {
+		t.Fatalf("headline fields: %+v", seq)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -22,6 +23,7 @@ func TracedRun(opt Options, arch ssd.Arch, mode ftl.GCMode, traceName string, tr
 	cfg.FTL.GCMode = mode
 	cfg.FTL.Policy = ftl.PCWD
 	cfg.Trace = &trace.Config{}
+	cfg.Telemetry = &telemetry.Config{}
 	s := ssd.New(arch, cfg)
 	warm(s, opt.ChurnFraction, opt.Seed)
 	tr, err := workload.Named(traceName, s.Config.LogicalPages(), opt.TraceRequests, opt.Seed)
@@ -31,6 +33,7 @@ func TracedRun(opt Options, arch ssd.Arch, mode ftl.GCMode, traceName string, tr
 	s.Host.MustReplay(tr.Requests)
 	s.Run()
 	if traceW != nil {
+		s.InjectTelemetryCounters()
 		if err := s.Tracer.ExportChrome(traceW); err != nil {
 			return nil, err
 		}

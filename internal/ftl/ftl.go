@@ -18,6 +18,7 @@ import (
 	"repro/internal/flash"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -154,6 +155,10 @@ type FTL struct {
 	trc    *trace.Recorder
 	gcSpan trace.SpanID
 
+	// tel feeds GC activity windows and per-request stall attribution;
+	// nil (the default) disables telemetry with no overhead.
+	tel *telemetry.Collector
+
 	// sink receives page-commit notifications for invariant checking; nil
 	// (the default) disables the hook with no overhead.
 	sink CheckSink
@@ -221,6 +226,10 @@ func (f *FTL) SetFaults(inj *fault.Injector) { f.faults = inj }
 // SetTracer attaches a trace recorder for GC-round and write-stall spans;
 // nil (the default) detaches.
 func (f *FTL) SetTracer(t *trace.Recorder) { f.trc = t }
+
+// SetTelemetry attaches a telemetry collector for GC activity windows
+// and stall attribution; nil (the default) detaches.
+func (f *FTL) SetTelemetry(c *telemetry.Collector) { f.tel = c }
 
 // chipKey identifies a chip in the injector's per-chip quota maps.
 func (f *FTL) chipKey(id controller.ChipID) uint64 {
@@ -431,6 +440,13 @@ func batchByChip(locs []controller.ChipID, addrs []flash.PPA, toks []flash.Token
 // every page has arrived in DRAM. Reads of LPNs with writes in flight wait
 // for those writes; reads of never-written LPNs panic — warm up first.
 func (f *FTL) Read(lpns []int64, done func()) {
+	f.ReadTracked(lpns, nil, done)
+}
+
+// ReadTracked is Read carrying a latency attribution: time the read
+// spends parked behind in-flight writes is credited to the stall
+// phase, everything from issue onward to flash. att may be nil.
+func (f *FTL) ReadTracked(lpns []int64, att *telemetry.Attribution, done func()) {
 	if len(lpns) == 0 {
 		panic("ftl: empty read")
 	}
@@ -443,22 +459,25 @@ func (f *FTL) Read(lpns []int64, done func()) {
 	for _, lpn := range lpns {
 		f.checkLPN(lpn)
 	}
-	f.readWhenStable(append([]int64(nil), lpns...), wrapped)
+	f.readWhenStable(append([]int64(nil), lpns...), att, wrapped)
 }
 
 // readWhenStable issues the read once no target LPN has a write in
 // flight. Every wake-up re-checks the whole set: while the read waited on
 // one LPN, a fresh write to another may have started, and issuing then
 // would read a page whose program has not reached the chip.
-func (f *FTL) readWhenStable(lpns []int64, done func()) {
+func (f *FTL) readWhenStable(lpns []int64, att *telemetry.Attribution, done func()) {
 	for _, lpn := range lpns {
 		if f.inflightWrites[lpn] > 0 {
 			f.writeWaiters[lpn] = append(f.writeWaiters[lpn], func() {
-				f.readWhenStable(lpns, done)
+				f.readWhenStable(lpns, att, done)
 			})
 			return
 		}
 	}
+	// Any wait behind in-flight writes ends here; un-stalled reads
+	// mark at their own issue instant and credit an exact zero.
+	att.Mark(telemetry.PhaseStall, f.eng.Now())
 	f.issueRead(lpns, done)
 }
 
@@ -521,6 +540,14 @@ func (f *FTL) issueRead(lpns []int64, done func()) {
 // space drops below the threshold; when no space is allocatable (GC group
 // restriction or genuine exhaustion) the write stalls until blocks free.
 func (f *FTL) Write(lpns []int64, toks []flash.Token, done func()) {
+	f.WriteTracked(lpns, toks, nil, done)
+}
+
+// WriteTracked is Write carrying a latency attribution: time blocked
+// on free-page allocation (GC stalls) is credited to the stall phase,
+// program time from the final full allocation onward to flash. att may
+// be nil.
+func (f *FTL) WriteTracked(lpns []int64, toks []flash.Token, att *telemetry.Attribution, done func()) {
 	if len(lpns) == 0 || len(lpns) != len(toks) {
 		panic("ftl: malformed write")
 	}
@@ -530,7 +557,7 @@ func (f *FTL) Write(lpns []int64, toks []flash.Token, done func()) {
 		f.outstanding--
 		done()
 	}
-	f.tryWrite(append([]int64(nil), lpns...), append([]flash.Token(nil), toks...), wrapped)
+	f.tryWrite(append([]int64(nil), lpns...), append([]flash.Token(nil), toks...), att, wrapped)
 	f.maybeTriggerGC()
 }
 
@@ -552,7 +579,7 @@ func (f *FTL) hostWriteAllowed(s slot) bool {
 	return true
 }
 
-func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
+func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, att *telemetry.Attribution, done func()) {
 	// Allocate as many pages as space allows; a shortfall commits the
 	// allocated prefix and stalls the remainder until blocks free up.
 	targets := make([]pendingTarget, 0, len(lpns))
@@ -580,6 +607,7 @@ func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
 			toks = toks[len(targets):]
 		}
 		lp, tk := lpns, toks
+		f.tel.Event("write-stall", f.eng.Now())
 		var stallSpan trace.SpanID
 		if f.trc.Enabled() {
 			stallSpan = f.trc.BeginSpan("ftl", "write-stall", trace.KV{K: "pages", V: len(lp)})
@@ -587,7 +615,7 @@ func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
 		f.stalled = append(f.stalled, func() bool {
 			// retried later; returns true when issued
 			f.trc.EndSpan(stallSpan)
-			f.tryWrite(lp, tk, done)
+			f.tryWrite(lp, tk, att, done)
 			return true
 		})
 		// A stalled write means allocation is out of space right now —
@@ -597,6 +625,10 @@ func (f *FTL) tryWrite(lpns []int64, toks []flash.Token, done func()) {
 		}
 		return
 	}
+	// Full allocation succeeded: any stall epochs end here. For a
+	// write whose prefix committed earlier, program time overlapping
+	// the stall is credited to the stall (the binding constraint).
+	att.Mark(telemetry.PhaseStall, f.eng.Now())
 	f.commitWrite(lpns, toks, targets, done)
 }
 
@@ -707,6 +739,7 @@ func (f *FTL) handleProgramFaults(b chipBatch) {
 			continue
 		}
 		f.ras().ProgramFails++
+		f.tel.Event("program-fail", f.eng.Now())
 		f.retireBlock(b.id, a.Plane, a.Block)
 		phys := physIndex(f.geo, f.ways, b.id, a)
 		lpn := b.lpns[i]
@@ -722,7 +755,7 @@ func (f *FTL) handleProgramFaults(b chipBatch) {
 		// this LPN cannot observe the unmapped window (or a stalled
 		// reissue) and panic on an unmapped read.
 		f.holdInflight(lpn)
-		f.tryWrite([]int64{lpn}, []flash.Token{b.toks[i]}, func() { f.releaseInflight(lpn) })
+		f.tryWrite([]int64{lpn}, []flash.Token{b.toks[i]}, nil, func() { f.releaseInflight(lpn) })
 	}
 }
 

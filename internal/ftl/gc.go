@@ -130,6 +130,7 @@ func (f *FTL) startGC(done func()) {
 	f.gcActive = true
 	f.stats.GCRounds++
 	started := f.eng.Now()
+	f.tel.GCStarted(started)
 	if f.trc.Enabled() {
 		f.gcSpan = f.trc.BeginSpan("gc", "gc-round",
 			trace.KV{K: "round", V: f.stats.GCRounds},
@@ -190,6 +191,7 @@ func (f *FTL) totalFreeBlocks() int {
 
 func (f *FTL) finishGC(started sim.Time, freeAtStart int, hadVictims bool, done func()) {
 	f.gcActive = false
+	f.tel.GCFinished(f.eng.Now())
 	dur := f.eng.Now() - started
 	f.stats.GCTotalTime += dur
 	f.stats.GCLastTime = dur
@@ -299,6 +301,7 @@ func (f *FTL) copyOnePage(v victim, page int, done func()) {
 	dstPS := f.planeAt(dstChip, dstAddr.Plane)
 	dstPS.blocks[dstAddr.Block].inflight++
 	f.stats.GCPagesCopied++
+	f.tel.GCCopied(f.eng.Now())
 	f.fab.Copy(v.id, from, dstChip, dstAddr, func() {
 		dstPS.blocks[dstAddr.Block].inflight--
 		if f.faults.DrawFor(fault.ProgramFail, f.chipKey(dstChip)) {
@@ -398,6 +401,7 @@ func (f *FTL) eraseVictim(v victim, done func()) {
 			// Erase status failed: the block retires instead of rejoining
 			// the free pool.
 			f.ras().EraseFails++
+			f.tel.Event("erase-fail", f.eng.Now())
 			f.retireBlock(v.id, v.plane, v.block)
 			ps.blocks[v.block].state = BlockRetired
 			f.retryStalled()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -117,6 +118,9 @@ type Frontend struct {
 	obs    FrontendObserver
 	trc    *trace.Recorder
 	tracks []*trace.Track
+	// tel records per-tenant submission-queue depth series; nil (the
+	// default) disables telemetry with no overhead.
+	tel *telemetry.Collector
 }
 
 // NewFrontend builds a front end over a Host from a validated
@@ -197,6 +201,20 @@ func (fe *Frontend) Drained() bool {
 // SetObserver attaches the queue lifecycle observer (nil detaches).
 func (fe *Frontend) SetObserver(o FrontendObserver) { fe.obs = o }
 
+// SetTelemetry attaches a telemetry collector and registers the tenant
+// names with it (in queue order); nil detaches. The host's collector
+// is attached separately by the device wiring.
+func (fe *Frontend) SetTelemetry(c *telemetry.Collector) {
+	fe.tel = c
+	if c.Enabled() {
+		names := make([]string, len(fe.queues))
+		for i, q := range fe.queues {
+			names[i] = q.cfg.Name
+		}
+		c.RegisterTenants(names)
+	}
+}
+
 // SetTracer attaches a trace recorder and registers one track per
 // tenant; request lifecycle spans (enqueue through completion, so they
 // include queueing delay) land on the tenant's own track.
@@ -248,6 +266,7 @@ func (fe *Frontend) Enqueue(tenant int, r Request, done func()) error {
 	if fe.obs != nil {
 		fe.obs.TenantQueued(tenant, q.len())
 	}
+	fe.tel.TenantDepth(q.cfg.Name, q.len(), fe.eng.Now())
 	fe.pump()
 	return nil
 }
@@ -312,6 +331,7 @@ func (fe *Frontend) pump() {
 		if fe.obs != nil {
 			fe.obs.TenantGranted(pick, q.len())
 		}
+		fe.tel.TenantDepth(q.cfg.Name, q.len(), fe.eng.Now())
 		fe.dispatch(pick, p)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -47,6 +48,10 @@ type Host struct {
 	// trc records one async span per request lifecycle (arrival through
 	// completion); nil (the default) disables tracing with no overhead.
 	trc *trace.Recorder
+	// tel attributes per-request latency to phases and feeds windowed
+	// time series; nil (the default) disables telemetry with no
+	// overhead, matching the tracer contract.
+	tel *telemetry.Collector
 }
 
 // New builds a host. nvmeMBps is the host link bandwidth (Table II: PCIe
@@ -73,6 +78,10 @@ func (h *Host) Metrics() *stats.IOMetrics { return h.metrics }
 // SetTracer attaches a trace recorder for request lifecycle spans; nil
 // (the default) detaches.
 func (h *Host) SetTracer(t *trace.Recorder) { h.trc = t }
+
+// SetTelemetry attaches a telemetry collector for latency attribution
+// and windowed host series; nil (the default) detaches.
+func (h *Host) SetTelemetry(c *telemetry.Collector) { h.tel = c }
 
 // SetObserver attaches a hold/queue observer to the NVMe link resource.
 func (h *Host) SetObserver(o sim.ResourceObserver) { h.nvme.SetObserver(o) }
@@ -135,10 +144,23 @@ func (h *Host) Submit(r Request, done func()) error {
 			trace.KV{K: "lpn", V: r.LPN},
 			trace.KV{K: "pages", V: r.Pages})
 	}
+	// Latency attribution: the marks below partition [arrival,
+	// completion] along the request path — sq-wait to NVMe pickup,
+	// command processing, link transfer, FTL stall, flash work — so
+	// phase durations sum exactly to end-to-end latency.
+	att := h.tel.StartRequest(r.Kind, r.Arrival)
+	att.Mark(telemetry.PhaseQueue, h.eng.Now())
 	finish := func() {
 		h.inFlight--
-		h.metrics.Record(r.Kind, r.Arrival, h.eng.Now(), bytes)
+		now := h.eng.Now()
+		h.metrics.Record(r.Kind, r.Arrival, now, bytes)
 		h.trc.EndSpan(span)
+		if r.Kind == stats.Read {
+			att.Mark(telemetry.PhaseXfer, now)
+		} else {
+			att.Mark(telemetry.PhaseFlash, now)
+		}
+		h.tel.FinishRequest(att, now, bytes)
 		if done != nil {
 			done()
 		}
@@ -146,7 +168,9 @@ func (h *Host) Submit(r Request, done func()) error {
 	xfer := sim.Time(bytes) * h.nvmePsByte
 	if r.Kind == stats.Read {
 		h.eng.Schedule(h.cmdLatency, func() {
-			h.f.Read(lpns, func() {
+			att.Mark(telemetry.PhaseCmd, h.eng.Now())
+			h.f.ReadTracked(lpns, att, func() {
+				att.Mark(telemetry.PhaseFlash, h.eng.Now())
 				h.nvme.UseLabeled("read-return", xfer, finish)
 			})
 		})
@@ -157,8 +181,10 @@ func (h *Host) Submit(r Request, done func()) error {
 			toks[i] = ftl.TokenFor(lpn, h.versions[lpn])
 		}
 		h.eng.Schedule(h.cmdLatency, func() {
+			att.Mark(telemetry.PhaseCmd, h.eng.Now())
 			h.nvme.UseLabeled("write-payload", xfer, func() {
-				h.f.Write(lpns, toks, finish)
+				att.Mark(telemetry.PhaseXfer, h.eng.Now())
+				h.f.WriteTracked(lpns, toks, att, finish)
 			})
 		})
 	}

@@ -1,0 +1,231 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// HTMLSeries is one windowed time series to render as a sparkline.
+type HTMLSeries struct {
+	Name   string
+	Unit   string
+	Values []float64
+}
+
+// HTMLMark is a named instant drawn as a vertical rule across every
+// sparkline of its run; two or more marks additionally shade the band
+// between the earliest and latest (the rebuild window, in the array
+// report).
+type HTMLMark struct {
+	Name string
+	AtUs float64
+}
+
+// HTMLPhase is one latency-attribution phase of a request kind.
+type HTMLPhase struct {
+	Name   string
+	Count  int64
+	Share  float64 // fraction of the kind's summed latency
+	MeanUs float64
+	P99Us  float64
+}
+
+// HTMLPhaseGroup is the per-phase decomposition of one request kind,
+// rendered as a stacked share bar plus a detail table.
+type HTMLPhaseGroup struct {
+	Kind   string
+	Phases []HTMLPhase
+}
+
+// HTMLRun is one run section of the report: headline metadata, the
+// windowed series, event marks, and the latency-attribution groups.
+type HTMLRun struct {
+	Title    string
+	Meta     [][2]string
+	WindowUs float64
+	Series   []HTMLSeries
+	Marks    []HTMLMark
+	Phases   []HTMLPhaseGroup
+}
+
+// Geometry and palette of the inline SVG charts.
+const (
+	svgW    = 680.0
+	sparkH  = 96.0
+	sparkPT = 14.0 // top padding leaves room for the label row
+	sparkPB = 4.0
+	sparkPX = 4.0
+	barH    = 26.0
+)
+
+var phasePalette = []string{"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#b07aa1"}
+
+// WriteHTML renders the runs as one fully self-contained HTML document:
+// inline CSS, inline SVG, zero external assets or links, so the file
+// can be archived next to the CSV output and opened years later with no
+// network access. Charts are sparklines (one per series, sharing the
+// run's time axis and mark rules) and stacked per-phase share bars.
+func WriteHTML(w io.Writer, title string, runs []HTMLRun) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString("<style>\n" + reportCSS + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	for i := range runs {
+		writeRun(&b, &runs[i])
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+const reportCSS = `body{font-family:sans-serif;margin:24px;max-width:760px;color:#222}
+h1{font-size:1.4em}h2{font-size:1.15em;margin-top:1.6em}h3{font-size:.95em;margin-bottom:.2em}
+table{border-collapse:collapse;font-size:.85em;margin:.4em 0}
+td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}
+th{background:#f2f2f2}td:first-child,th:first-child{text-align:left}
+dl{display:grid;grid-template-columns:max-content auto;gap:2px 12px;font-size:.85em}
+dt{font-weight:bold}dd{margin:0}
+svg{display:block;margin:2px 0 10px}
+.legend{font-size:.8em;margin:.2em 0 .8em}
+.legend span{display:inline-block;margin-right:14px}
+.swatch{display:inline-block;width:10px;height:10px;margin-right:4px;vertical-align:baseline}
+`
+
+func writeRun(b *strings.Builder, r *HTMLRun) {
+	fmt.Fprintf(b, "<section>\n<h2>%s</h2>\n", html.EscapeString(r.Title))
+	if len(r.Meta) > 0 {
+		b.WriteString("<dl>\n")
+		for _, kv := range r.Meta {
+			fmt.Fprintf(b, "<dt>%s</dt><dd>%s</dd>\n",
+				html.EscapeString(kv[0]), html.EscapeString(kv[1]))
+		}
+		b.WriteString("</dl>\n")
+	}
+	for _, s := range r.Series {
+		writeSparkline(b, s, r.WindowUs, r.Marks)
+	}
+	for _, g := range r.Phases {
+		writePhaseGroup(b, g)
+	}
+	b.WriteString("</section>\n")
+}
+
+// sparkBounds picks a y range that keeps a flat series visible.
+func sparkBounds(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi++
+		if lo > 0 {
+			lo = 0
+		}
+	}
+	return lo, hi
+}
+
+func writeSparkline(b *strings.Builder, s HTMLSeries, windowUs float64, marks []HTMLMark) {
+	n := len(s.Values)
+	if n == 0 {
+		return
+	}
+	lo, hi := sparkBounds(s.Values)
+	spanUs := float64(n) * windowUs
+	x := func(us float64) float64 {
+		if spanUs <= 0 {
+			return sparkPX
+		}
+		return sparkPX + (svgW-2*sparkPX)*us/spanUs
+	}
+	y := func(v float64) float64 {
+		return sparkH - sparkPB - (sparkH-sparkPT-sparkPB)*(v-lo)/(hi-lo)
+	}
+
+	fmt.Fprintf(b, "<h3>%s <small>(%s; min %s, max %s)</small></h3>\n",
+		html.EscapeString(s.Name), html.EscapeString(s.Unit), numStr(lo), numStr(hi))
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" role=\"img\">\n",
+		svgW, sparkH, svgW, sparkH)
+
+	// Shaded band between the outermost marks (e.g. the rebuild window),
+	// then one dashed rule per mark.
+	if len(marks) >= 2 {
+		first, last := marks[0].AtUs, marks[0].AtUs
+		for _, m := range marks[1:] {
+			if m.AtUs < first {
+				first = m.AtUs
+			}
+			if m.AtUs > last {
+				last = m.AtUs
+			}
+		}
+		fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"#e15759\" fill-opacity=\"0.10\"/>\n",
+			x(first), sparkPT, x(last)-x(first), sparkH-sparkPT-sparkPB)
+	}
+	for _, m := range marks {
+		fmt.Fprintf(b, "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#e15759\" stroke-dasharray=\"3 2\"><title>%s</title></line>\n",
+			x(m.AtUs), sparkPT, x(m.AtUs), sparkH-sparkPB, html.EscapeString(m.Name))
+	}
+
+	var pts strings.Builder
+	for i, v := range s.Values {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", x((float64(i)+0.5)*windowUs), y(v))
+	}
+	fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"#4e79a7\" stroke-width=\"1.5\"/>\n", pts.String())
+	b.WriteString("</svg>\n")
+}
+
+func writePhaseGroup(b *strings.Builder, g HTMLPhaseGroup) {
+	if len(g.Phases) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "<h3>%s latency by phase</h3>\n", html.EscapeString(g.Kind))
+
+	// Stacked share bar: each phase's width is its share of the kind's
+	// summed latency.
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" role=\"img\">\n",
+		svgW, barH, svgW, barH)
+	pos := 0.0
+	for i, p := range g.Phases {
+		w := svgW * p.Share
+		fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"0\" width=\"%.1f\" height=\"%.0f\" fill=\"%s\"><title>%s %.1f%%</title></rect>\n",
+			pos, w, barH, phasePalette[i%len(phasePalette)], html.EscapeString(p.Name), p.Share*100)
+		pos += w
+	}
+	b.WriteString("</svg>\n<div class=\"legend\">")
+	for i, p := range g.Phases {
+		fmt.Fprintf(b, "<span><span class=\"swatch\" style=\"background:%s\"></span>%s %.1f%%</span>",
+			phasePalette[i%len(phasePalette)], html.EscapeString(p.Name), p.Share*100)
+	}
+	b.WriteString("</div>\n")
+
+	b.WriteString("<table>\n<tr><th>phase</th><th>count</th><th>mean us</th><th>p99 us</th><th>share</th></tr>\n")
+	for _, p := range g.Phases {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%.1f%%</td></tr>\n",
+			html.EscapeString(p.Name), p.Count, numStr(p.MeanUs), numStr(p.P99Us), p.Share*100)
+	}
+	b.WriteString("</table>\n")
+}
+
+// numStr formats a chart number compactly.
+func numStr(v float64) string {
+	switch {
+	case v != 0 && (v < 0.01 && v > -0.01):
+		return fmt.Sprintf("%.2g", v)
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleRun() HTMLRun {
+	return HTMLRun{
+		Title:    "pnSSD+split rebuilding",
+		Meta:     [][2]string{{"arch", "pnSSD+split"}, {"requests", "400"}},
+		WindowUs: 500,
+		Series: []HTMLSeries{
+			{Name: "lat_p99", Unit: "us", Values: []float64{100, 220, 410, 180}},
+			{Name: "rebuild", Unit: "pages", Values: []float64{0, 12, 30, 0}},
+		},
+		Marks: []HTMLMark{
+			{Name: "rebuild-detect", AtUs: 600},
+			{Name: "rebuild-complete", AtUs: 1400},
+		},
+		Phases: []HTMLPhaseGroup{{
+			Kind: "read",
+			Phases: []HTMLPhase{
+				{Name: "sq-wait", Count: 190, Share: 0.02, MeanUs: 1, P99Us: 4},
+				{Name: "flash", Count: 190, Share: 0.98, MeanUs: 80, P99Us: 300},
+			},
+		}},
+	}
+}
+
+// TestWriteHTMLSelfContained is the archival guarantee: the document
+// embeds everything (CSS, SVG) and references nothing — no URLs, no
+// scripts, one file forever.
+func TestWriteHTMLSelfContained(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHTML(&b, "run report", []HTMLRun{sampleRun()}); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if strings.Contains(doc, "http") {
+		t.Fatal("document references an external URL scheme")
+	}
+	if strings.Contains(doc, "<script") {
+		t.Fatal("document embeds script")
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<style>", "<svg", "<polyline",
+		"lat_p99", "rebuild-detect", "sq-wait",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("document misses %q", want)
+		}
+	}
+	// Two marks shade the band between them: exactly one translucent rect
+	// per sparkline (2 series) plus the two phase-bar rects.
+	if got := strings.Count(doc, "fill-opacity"); got != 2 {
+		t.Fatalf("%d shaded mark bands, want 2 (one per sparkline)", got)
+	}
+	if got := strings.Count(doc, "<svg"); got != 3 {
+		t.Fatalf("%d svg elements, want 3 (2 sparklines + 1 phase bar)", got)
+	}
+}
+
+// TestWriteHTMLEscapesContent: user-controlled strings (titles, series
+// and phase names from workload/tenant names) must not inject markup.
+func TestWriteHTMLEscapesContent(t *testing.T) {
+	run := sampleRun()
+	run.Title = `<img src=x onerror=alert(1)>`
+	run.Series[0].Name = `qdepth:<b>evil</b>`
+	run.Marks[0].Name = `"quoted"`
+	var b strings.Builder
+	if err := WriteHTML(&b, `<script>title</script>`, []HTMLRun{run}); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	for _, banned := range []string{"<img", "<b>evil</b>", "<script>title"} {
+		if strings.Contains(doc, banned) {
+			t.Fatalf("unescaped markup %q leaked into the document", banned)
+		}
+	}
+	if !strings.Contains(doc, "&lt;b&gt;evil&lt;/b&gt;") {
+		t.Fatal("series name not escaped-and-kept")
+	}
+}
+
+// TestWriteHTMLDegenerateSeries: empty and flat series must render (or
+// skip) without dividing by zero.
+func TestWriteHTMLDegenerateSeries(t *testing.T) {
+	run := HTMLRun{
+		Title:    "degenerate",
+		WindowUs: 500,
+		Series: []HTMLSeries{
+			{Name: "empty", Unit: "us", Values: nil},
+			{Name: "flat", Unit: "us", Values: []float64{5, 5, 5}},
+			{Name: "zero", Unit: "us", Values: []float64{0, 0}},
+			{Name: "single", Unit: "us", Values: []float64{7}},
+		},
+	}
+	var b strings.Builder
+	if err := WriteHTML(&b, "x", []HTMLRun{run}); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if strings.Contains(doc, "empty") {
+		t.Fatal("empty series rendered a chart")
+	}
+	for _, want := range []string{"flat", "zero", "single"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("series %q missing", want)
+		}
+	}
+	if strings.Contains(doc, "NaN") || strings.Contains(doc, "Inf") {
+		t.Fatal("degenerate series produced non-finite coordinates")
+	}
+}
+
+// TestWriteHTMLPhaseShares: the stacked bar's segment widths follow
+// the shares and the legend lists every phase.
+func TestWriteHTMLPhaseShares(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHTML(&b, "x", []HTMLRun{sampleRun()}); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	// share 0.98 of the 680-wide bar = 666.4.
+	if !strings.Contains(doc, `width="666.4"`) {
+		t.Fatal("flash segment width does not follow its share")
+	}
+	if got := strings.Count(doc, "class=\"swatch\""); got != 2 {
+		t.Fatalf("%d legend swatches, want 2", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // defaultParallelism is the worker count used by Default-driven call
@@ -89,6 +90,14 @@ func mapLabeled[T any](parallel, n int, label func(i int) string, job func(i int
 	if n <= 0 {
 		return nil
 	}
+	// Progress reporting observes job completions but never influences
+	// them: it reads wall-clock time only, so results stay byte-identical
+	// with the flag on or off.
+	track := prog.enabled.Load()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	out := make([]T, n)
 	if parallel <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
@@ -96,16 +105,19 @@ func mapLabeled[T any](parallel, n int, label func(i int) string, job func(i int
 				// Bare Map keeps the pre-parallelism behavior: the panic
 				// propagates with its original stack intact.
 				out[i] = job(i)
-				continue
-			}
-			func() {
-				defer func() {
-					if v := recover(); v != nil {
-						panic(fmt.Sprintf("runner: %s panicked: %v", describe(i, label), v))
-					}
+			} else {
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							panic(fmt.Sprintf("runner: %s panicked: %v", describe(i, label), v))
+						}
+					}()
+					out[i] = job(i)
 				}()
-				out[i] = job(i)
-			}()
+			}
+			if track {
+				prog.note(i+1, n, t0)
+			}
 		}
 		return out
 	}
@@ -115,6 +127,7 @@ func mapLabeled[T any](parallel, n int, label func(i int) string, job func(i int
 
 	var (
 		next    atomic.Int64
+		done    atomic.Int64
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		failed  bool
@@ -148,6 +161,9 @@ func mapLabeled[T any](parallel, n int, label func(i int) string, job func(i int
 					}()
 					out[i] = job(i)
 				}()
+				if track {
+					prog.note(int(done.Add(1)), n, t0)
+				}
 			}
 		}()
 	}

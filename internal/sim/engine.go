@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is a simulation timestamp or duration in picoseconds.
@@ -130,6 +131,18 @@ func (h *eventHeap) popMin() event {
 	return min
 }
 
+// totalFired accumulates events executed across every engine in the
+// process — the feed behind the runner package's -progress reporter.
+// Engines publish their delta once per Run/RunUntil call rather than
+// per event, so the shared counter costs one atomic add per drain, not
+// one per event, and the hot step loop stays contention-free.
+var totalFired atomic.Int64
+
+// EventsFiredTotal returns the process-wide number of events executed
+// across all engines. Updated at Run/RunUntil granularity, so it lags
+// an engine mid-drain; it is a progress signal, not an exact census.
+func EventsFiredTotal() int64 { return totalFired.Load() }
+
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all model code runs inside event callbacks.
 type Engine struct {
@@ -137,6 +150,8 @@ type Engine struct {
 	seq    int64
 	events eventHeap
 	fired  int64
+	// counted is how much of fired has been published to totalFired.
+	counted int64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -179,7 +194,17 @@ func (e *Engine) Run() Time {
 	for len(e.events) > 0 {
 		e.step()
 	}
+	e.flushFired()
 	return e.now
+}
+
+// flushFired publishes events fired since the last flush to the
+// process-wide counter.
+func (e *Engine) flushFired() {
+	if d := e.fired - e.counted; d > 0 {
+		totalFired.Add(d)
+		e.counted = e.fired
+	}
 }
 
 // RunUntil executes every event with a timestamp <= deadline, including
@@ -199,6 +224,7 @@ func (e *Engine) RunUntil(deadline Time) int64 {
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.flushFired()
 	return n
 }
 

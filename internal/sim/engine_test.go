@@ -244,3 +244,32 @@ func TestEngineOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEventsFiredTotal: engines publish their fired-event delta to the
+// process-wide counter once per Run/RunUntil drain, and re-draining a
+// finished engine publishes nothing twice.
+func TestEventsFiredTotal(t *testing.T) {
+	before := EventsFiredTotal()
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i)*Microsecond, func() {})
+	}
+	e.Run()
+	if got := EventsFiredTotal() - before; got != 5 {
+		t.Fatalf("total advanced by %d after Run, want 5", got)
+	}
+	e.Run() // drained: no delta
+	if got := EventsFiredTotal() - before; got != 5 {
+		t.Fatalf("re-running a drained engine changed the total to +%d", got)
+	}
+	e.Schedule(Microsecond, func() {})
+	e.Schedule(2*Microsecond, func() {})
+	e.RunUntil(e.Now() + Microsecond)
+	if got := EventsFiredTotal() - before; got != 6 {
+		t.Fatalf("total advanced by %d after partial RunUntil, want 6", got)
+	}
+	e.Run()
+	if got := EventsFiredTotal() - before; got != 7 {
+		t.Fatalf("total advanced by %d after final drain, want 7", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -113,6 +114,14 @@ type Config struct {
 	// configured arbiter deciding dispatch order. Nil (the default) leaves
 	// the single-queue Host as the only entry point.
 	Frontend *host.FrontendConfig
+	// Telemetry, when non-nil, enables the time-series engine: a
+	// collector samples windowed host throughput/latency, GC activity,
+	// Omnibus grant wait, per-tenant queue depth, and RAS events, and
+	// every request carries a latency attribution decomposing its
+	// end-to-end latency into phases. Nil (the default) leaves every
+	// hook detached, so the simulation is bit-identical to a build
+	// without telemetry.
+	Telemetry *telemetry.Config
 }
 
 // DefaultConfig returns the paper's Table II parameters: 8 channels, 8
@@ -202,6 +211,9 @@ type SSD struct {
 	Tracer *trace.Recorder
 	// Checker is the invariant checker, nil unless Config.Check was set.
 	Checker *check.Checker
+	// Telemetry is the time-series collector, nil unless
+	// Config.Telemetry was set.
+	Telemetry *telemetry.Collector
 }
 
 // RAS returns the run's RAS counters, or nil when fault injection is off.
@@ -378,11 +390,29 @@ func wireCheck(cfg Config, eng *sim.Engine, grid *controller.Grid, fab controlle
 	return ck
 }
 
+// wireTelemetry builds the collector from cfg.Telemetry (nil when
+// absent) and attaches it to the host (attribution + windowed series),
+// the FTL (GC activity, stall events), and an Omnibus fabric's grant
+// arbitration. The collector is purely passive — it never schedules
+// events — so an instrumented run executes the same event sequence.
+func wireTelemetry(cfg Config, fab controller.Fabric, f *ftl.FTL, h *host.Host) *telemetry.Collector {
+	if cfg.Telemetry == nil {
+		return nil
+	}
+	col := telemetry.New(*cfg.Telemetry)
+	h.SetTelemetry(col)
+	f.SetTelemetry(col)
+	if ob, ok := fab.(*controller.OmnibusFabric); ok {
+		ob.SetTelemetry(col)
+	}
+	return col
+}
+
 // wireFrontend builds the multi-tenant front end from cfg.Frontend (nil
 // when absent) and hooks it into tracing (one span track per tenant)
 // and the invariant checker (per-queue depth ledger, arbiter fairness
 // bound, per-tenant conservation, and a drained-front-end check).
-func wireFrontend(cfg Config, h *host.Host, rec *trace.Recorder, ck *check.Checker) *host.Frontend {
+func wireFrontend(cfg Config, h *host.Host, rec *trace.Recorder, ck *check.Checker, col *telemetry.Collector) *host.Frontend {
 	if cfg.Frontend == nil {
 		return nil
 	}
@@ -402,6 +432,9 @@ func wireFrontend(cfg Config, h *host.Host, rec *trace.Recorder, ck *check.Check
 			}
 			return nil
 		})
+	}
+	if col.Enabled() {
+		fe.SetTelemetry(col)
 	}
 	return fe
 }
@@ -431,8 +464,9 @@ func New(arch Arch, cfg Config) *SSD {
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
-	fe := wireFrontend(cfg, h, rec, ck)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck}
+	col := wireTelemetry(cfg, fab, f, h)
+	fe := wireFrontend(cfg, h, rec, ck, col)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -451,8 +485,9 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
-	fe := wireFrontend(cfg, h, rec, ck)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck}
+	col := wireTelemetry(cfg, fab, f, h)
+	fe := wireFrontend(cfg, h, rec, ck, col)
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/flash"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -107,6 +108,10 @@ type Summary struct {
 	TraceEvents int64   `json:"trace_events,omitempty"`
 	TraceHolds  int64   `json:"trace_holds,omitempty"`
 	TraceWaitUs float64 `json:"trace_wait_us,omitempty"`
+
+	// Telemetry carries the windowed time series and per-phase latency
+	// attribution when Config.Telemetry was set.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // Summarize digests the device's current state into a Summary. Call it
@@ -156,7 +161,25 @@ func (s *SSD) Summarize() Summary {
 		sum.TraceHolds = holds
 		sum.TraceWaitUs = waits.Microseconds()
 	}
+	if s.Telemetry.Enabled() {
+		sum.Telemetry = s.Telemetry.Summary(now)
+	}
 	return sum
+}
+
+// InjectTelemetryCounters renders the telemetry series as Perfetto
+// counter tracks on the trace recorder, one counter lane per series,
+// so the time-resolved view appears next to the span tracks in one
+// trace file. Call after Run and before ExportChrome; a no-op unless
+// both tracing and telemetry are enabled.
+func (s *SSD) InjectTelemetryCounters() {
+	if !s.Tracer.Enabled() || !s.Telemetry.Enabled() {
+		return
+	}
+	sum := s.Telemetry.Summary(s.Engine.Now())
+	for _, sr := range sum.Series {
+		s.Tracer.CounterSeries("tel:"+sr.Name, sr.Unit, s.Telemetry.Window(), sr.Values)
+	}
 }
 
 // WriteSummaryJSON writes the run summary as indented JSON.

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestArrayRASRowsCoverEveryCounter pins the canonical row order and
+// checks every counter appears exactly once with its live value — the
+// reports and determinism tests consume this form verbatim.
+func TestArrayRASRowsCoverEveryCounter(t *testing.T) {
+	r := NewArrayRAS()
+	r.DeviceKills = 1
+	r.TransientOutages = 2
+	r.RouterRetries = 3
+	r.RetryExhausted = 4
+	r.DegradedReads = 5
+	r.ReconstructionReads = 6
+	r.SpareReads = 7
+	r.FailedReads = 8
+	r.RedirectedWrites = 9
+	r.DeferredWrites = 10
+	r.LostWrites = 11
+	r.RebuildPages = 12
+	r.RebuildReads = 13
+	r.RebuildSkipped = 14
+	r.DoubleAcks = 15
+
+	rows := r.Rows()
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 15 (one per counter)", len(rows))
+	}
+	wantOrder := []string{
+		"device kills", "transient outages", "router retries",
+		"retry budget exhausted", "degraded reads", "reconstruction reads",
+		"spare reads", "failed reads", "redirected writes",
+		"deferred writes", "lost writes", "rebuild pages",
+		"rebuild reads", "rebuild skipped (fresh)", "double acks",
+	}
+	for i, row := range rows {
+		if row[0] != wantOrder[i] {
+			t.Fatalf("row %d label %q, want %q", i, row[0], wantOrder[i])
+		}
+		// Counters were seeded 1..15 in row order.
+		if want := i + 1; row[1] != itoa(want) {
+			t.Fatalf("row %q value %q, want %d", row[0], row[1], want)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// TestArrayRASStringDeterministic checks the one-line form: fixed
+// order, every label present, stable across calls.
+func TestArrayRASStringDeterministic(t *testing.T) {
+	r := NewArrayRAS()
+	r.DegradedReads = 42
+	s1, s2 := r.String(), r.String()
+	if s1 != s2 {
+		t.Fatal("String is not stable")
+	}
+	if !strings.Contains(s1, "degraded reads=42") {
+		t.Fatalf("String misses live counter: %q", s1)
+	}
+	if !strings.HasPrefix(s1, "device kills=0 ") {
+		t.Fatalf("String order changed: %q", s1)
+	}
+	if got := strings.Count(s1, "="); got != 15 {
+		t.Fatalf("%d fields in String, want 15", got)
+	}
+}

@@ -1,0 +1,252 @@
+// JSON export: Summary freezes a collector into plain, deterministic
+// series suitable for ssd.Summarize, the array run documents, Perfetto
+// counter tracks, and cmd/report.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Series is one named per-window value sequence. Values[i] covers
+// simulated time [i*window, (i+1)*window).
+type Series struct {
+	Name   string    `json:"name"`
+	Unit   string    `json:"unit"`
+	Values []float64 `json:"values"`
+}
+
+// PhaseSummary aggregates one (kind, phase) histogram over the run.
+type PhaseSummary struct {
+	Kind    string  `json:"kind"`
+	Phase   string  `json:"phase"`
+	Count   int64   `json:"count"`
+	MeanUs  float64 `json:"mean_us"`
+	P50Us   float64 `json:"p50_us"`
+	P99Us   float64 `json:"p99_us"`
+	MaxUs   float64 `json:"max_us"`
+	TotalUs float64 `json:"total_us"`
+	// Share is this phase's fraction of the kind's summed latency.
+	Share float64 `json:"share"`
+}
+
+// Mark is a named instant on the run timeline.
+type Mark struct {
+	Name string  `json:"name"`
+	AtUs float64 `json:"at_us"`
+}
+
+// Summary is the machine-readable telemetry document for one run.
+type Summary struct {
+	WindowUs              float64        `json:"window_us"`
+	Windows               int            `json:"windows"`
+	Requests              int64          `json:"requests"`
+	AttributionViolations int64          `json:"attribution_violations"`
+	Series                []Series       `json:"series"`
+	Phases                []PhaseSummary `json:"phases,omitempty"`
+	Marks                 []Mark         `json:"marks,omitempty"`
+}
+
+// SeriesByName returns the named series, or nil.
+func (s *Summary) SeriesByName(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Series {
+		if s.Series[i].Name == name {
+			return &s.Series[i]
+		}
+	}
+	return nil
+}
+
+// round6 trims float noise so exported JSON stays compact and stable.
+func round6(v float64) float64 {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return math.Round(v*1e6) / 1e6
+}
+
+// Summary freezes the collector at end-of-run time end. Open
+// intervals (an active GC round, standing tenant queues) are closed at
+// max(end, last hook time). Nil-safe: returns nil when disabled.
+func (c *Collector) Summary(end sim.Time) *Summary {
+	if c == nil {
+		return nil
+	}
+	if end < c.lastEvent {
+		end = c.lastEvent
+	}
+	// Close open intervals against a copy of the mutable state so
+	// Summary stays idempotent.
+	gcBusy := append([]sim.Time(nil), c.gcBusy...)
+	if c.gcActive {
+		gcBusy = c.spread(gcBusy, c.gcSince, end)
+	}
+	n := c.slot(end)
+	if end > 0 && end%c.window == 0 {
+		n-- // end on a window boundary: last window is [n-1]
+	}
+	if n < 0 {
+		n = 0
+	}
+	windows := n + 1
+
+	winSec := c.window.Seconds()
+	kiops := make([]float64, windows)
+	mbps := make([]float64, windows)
+	mean := make([]float64, windows)
+	p50 := make([]float64, windows)
+	p99 := make([]float64, windows)
+	for w := 0; w < windows; w++ {
+		if w < len(c.completed) {
+			kiops[w] = round6(float64(c.completed[w]) / winSec / 1000)
+			mbps[w] = round6(float64(c.bytes[w]) / winSec / 1e6)
+		}
+		if w < len(c.lat) && c.lat[w] != nil {
+			h := c.lat[w]
+			mean[w] = round6(h.Mean().Microseconds())
+			p50[w] = round6(h.Median().Microseconds())
+			p99[w] = round6(h.P99().Microseconds())
+		}
+	}
+	sum := &Summary{
+		WindowUs:              c.window.Microseconds(),
+		Windows:               windows,
+		Requests:              c.requests,
+		AttributionViolations: c.attViolated,
+		Series: []Series{
+			{Name: "throughput", Unit: "kiops", Values: kiops},
+			{Name: "bandwidth", Unit: "mbps", Values: mbps},
+			{Name: "lat_mean", Unit: "us", Values: mean},
+			{Name: "lat_p50", Unit: "us", Values: p50},
+			{Name: "lat_p99", Unit: "us", Values: p99},
+		},
+	}
+
+	if c.gcSeen {
+		busy := make([]float64, windows)
+		copies := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			if w < len(gcBusy) {
+				busy[w] = round6(gcBusy[w].Seconds() / winSec)
+			}
+			if w < len(c.gcCopies) {
+				copies[w] = float64(c.gcCopies[w])
+			}
+		}
+		sum.Series = append(sum.Series,
+			Series{Name: "gc_active", Unit: "frac", Values: busy},
+			Series{Name: "gc_copies", Unit: "pages", Values: copies})
+	}
+	if c.grantSeen {
+		wait := make([]float64, windows)
+		grants := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			if w < len(c.grantWait) {
+				wait[w] = round6(c.grantWait[w].Microseconds())
+			}
+			if w < len(c.grantCount) {
+				grants[w] = float64(c.grantCount[w])
+			}
+		}
+		sum.Series = append(sum.Series,
+			Series{Name: "grant_wait", Unit: "us", Values: wait},
+			Series{Name: "grants", Unit: "count", Values: grants})
+	}
+	for i := range c.tenants {
+		t := &c.tenants[i]
+		dur := append([]sim.Time(nil), t.depthDur...)
+		if t.depth > 0 {
+			dur = c.spreadDepth(dur, t.at, end, t.depth)
+		}
+		depth := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			if w < len(dur) {
+				depth[w] = round6(dur[w].Seconds() / winSec)
+			}
+		}
+		sum.Series = append(sum.Series,
+			Series{Name: "qdepth:" + t.name, Unit: "reqs", Values: depth})
+	}
+	if c.rebuildSeen {
+		pages := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			if w < len(c.rebuilt) {
+				pages[w] = float64(c.rebuilt[w])
+			}
+		}
+		sum.Series = append(sum.Series,
+			Series{Name: "rebuild", Unit: "pages", Values: pages})
+	}
+	// Event classes in sorted order so map iteration never leaks.
+	for _, class := range sortedKeys(c.events) {
+		counts := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			if w < len(c.events[class]) {
+				counts[w] = float64(c.events[class][w])
+			}
+		}
+		sum.Series = append(sum.Series,
+			Series{Name: "event:" + class, Unit: "count", Values: counts})
+	}
+
+	for k := 0; k < 2; k++ {
+		kind := stats.IOKind(k).String()
+		var kindTotal sim.Time
+		for p := Phase(0); p < NumPhases; p++ {
+			kindTotal += c.phaseTotal[k][p]
+		}
+		for p := Phase(0); p < NumPhases; p++ {
+			h := c.phaseHist[k][p]
+			if h.Count() == 0 {
+				continue
+			}
+			share := 0.0
+			if kindTotal > 0 {
+				share = round6(float64(c.phaseTotal[k][p]) / float64(kindTotal))
+			}
+			sum.Phases = append(sum.Phases, PhaseSummary{
+				Kind:    kind,
+				Phase:   p.String(),
+				Count:   h.Count(),
+				MeanUs:  round6(h.Mean().Microseconds()),
+				P50Us:   round6(h.Median().Microseconds()),
+				P99Us:   round6(h.P99().Microseconds()),
+				MaxUs:   round6(h.Max().Microseconds()),
+				TotalUs: round6(c.phaseTotal[k][p].Microseconds()),
+				Share:   share,
+			})
+		}
+	}
+	sum.Marks = append(sum.Marks, c.marks...)
+	return sum
+}
+
+func sortedKeys(m map[string][]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: the class count is tiny and this avoids an
+	// import for one call site.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// String summarizes the summary for debug printing.
+func (s *Summary) String() string {
+	if s == nil {
+		return "telemetry: disabled"
+	}
+	return fmt.Sprintf("telemetry: %d windows x %.0fus, %d series, %d requests, %d violations",
+		s.Windows, s.WindowUs, len(s.Series), s.Requests, s.AttributionViolations)
+}

@@ -1,0 +1,347 @@
+// Package telemetry is a passive time-series engine for the simulator.
+//
+// A Collector samples counters, gauges, and latency histograms over
+// *simulated* time in fixed windows: host throughput and tail latency
+// per window, per-tenant queue depth, GC activity, Omnibus grant wait,
+// RAS/fault event counts, and array rebuild progress. It also owns the
+// per-request latency Attribution objects (attribution.go) that
+// decompose every request's end-to-end latency into named phases.
+//
+// The collector follows the internal/trace contract exactly:
+//
+//   - A nil *Collector is valid and every method is a no-op, so model
+//     code calls hooks unconditionally and a run without telemetry
+//     pays only nil checks.
+//   - The collector never schedules events and never consults the
+//     engine; callers pass the current simulated time into every hook.
+//     An instrumented run therefore executes a bit-identical event
+//     sequence (pinned by TestTelemetryOffIsBitIdentical).
+//   - All accumulation is commutative or fed in deterministic order,
+//     so exported series are byte-identical at any -parallel count.
+package telemetry
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DefaultWindow is the sampling window width when Config.Window is
+// zero. It matches trace.DefaultWindow so counter tracks line up with
+// the utilization timelines in Perfetto.
+const DefaultWindow = 500 * sim.Microsecond
+
+// windowHistDensity is the bucket resolution of the small per-window
+// latency histograms (coarser than the run-level 90/decade histograms;
+// ~8% bucket error is fine for sparklines).
+const windowHistDensity = 30
+
+// Config selects telemetry collection. The zero value is usable.
+type Config struct {
+	// Window is the sampling window width in simulated time.
+	// Zero selects DefaultWindow.
+	Window sim.Time
+}
+
+// tenantSeries integrates one tenant's submission-queue depth over
+// time, window by window, exactly like trace.Timeline does for
+// resource queues.
+type tenantSeries struct {
+	name     string
+	depthDur []sim.Time // sum of depth x duration per window
+	depth    int
+	at       sim.Time
+}
+
+// Collector accumulates all telemetry channels for one device run.
+// It is not safe for concurrent use; like the trace recorder it lives
+// inside a single engine's event callbacks (or is fed post-join from
+// a single goroutine, as the array tier does).
+type Collector struct {
+	window sim.Time
+
+	// Host completion channels, indexed by completion window.
+	completed []int64
+	bytes     []int64
+	lat       []*stats.Histogram
+
+	// Per-kind, per-phase attribution histograms for the whole run.
+	phaseHist   [2][NumPhases]*stats.Histogram
+	phaseTotal  [2][NumPhases]sim.Time
+	requests    int64
+	attViolated int64
+
+	// GC activity: busy time integrated per window plus copy counts.
+	gcBusy    []sim.Time
+	gcCopies  []int64
+	gcActive  bool
+	gcSince   sim.Time
+	gcSeen    bool
+	lastEvent sim.Time // high-water mark of any hook, bounds open intervals
+
+	// Omnibus grant wait: waited time integrated over the wait
+	// interval, plus grant counts at resolution time.
+	grantWait  []sim.Time
+	grantCount []int64
+	grantSeen  bool
+
+	// Counted instants (RAS/fault events) per window, keyed by class.
+	// Map order never leaks: Summary sorts the keys.
+	events map[string][]int64
+
+	// Per-tenant submission-queue depth.
+	tenants []tenantSeries
+
+	// Array rebuild progress: pages rebuilt per window.
+	rebuilt     []int64
+	rebuildSeen bool
+
+	// Named instants (e.g. rebuild-detect) surfaced in the summary.
+	marks []Mark
+}
+
+// New returns a collector with the configured window width.
+func New(cfg Config) *Collector {
+	w := cfg.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	c := &Collector{window: w, events: make(map[string][]int64)}
+	for k := 0; k < 2; k++ {
+		for p := Phase(0); p < NumPhases; p++ {
+			c.phaseHist[k][p] = stats.NewHistogram(90)
+		}
+	}
+	return c
+}
+
+// Enabled reports whether the collector is active. Nil-safe.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Window returns the sampling window width.
+func (c *Collector) Window() sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.window
+}
+
+// slot maps a timestamp to its window index.
+func (c *Collector) slot(at sim.Time) int { return int(at / c.window) }
+
+// touch records the high-water mark so open intervals (an unfinished
+// GC round, a tenant queue that never drains) can be closed at export.
+func (c *Collector) touch(at sim.Time) {
+	if at > c.lastEvent {
+		c.lastEvent = at
+	}
+}
+
+func growI64(s []int64, w int) []int64 {
+	for len(s) <= w {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growT(s []sim.Time, w int) []sim.Time {
+	for len(s) <= w {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// spread credits the duration [from, to) across the windows it
+// overlaps, returning the grown slice.
+func (c *Collector) spread(s []sim.Time, from, to sim.Time) []sim.Time {
+	if to <= from {
+		return s
+	}
+	s = growT(s, c.slot(to))
+	for w := c.slot(from); w <= c.slot(to); w++ {
+		start, end := sim.Time(w)*c.window, sim.Time(w+1)*c.window
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		if end > start {
+			s[w] += end - start
+		}
+	}
+	return s
+}
+
+// RecordCompletion adds one finished request to the windowed host
+// series. It is order-independent (pure slot-indexed adds), so the
+// array tier can feed it from joined per-device results after the
+// fact. complete must not precede arrival.
+func (c *Collector) RecordCompletion(kind stats.IOKind, arrival, complete sim.Time, bytes int64) {
+	if c == nil {
+		return
+	}
+	c.touch(complete)
+	w := c.slot(complete)
+	c.completed = growI64(c.completed, w)
+	c.bytes = growI64(c.bytes, w)
+	for len(c.lat) <= w {
+		c.lat = append(c.lat, nil)
+	}
+	c.completed[w]++
+	c.bytes[w] += bytes
+	if c.lat[w] == nil {
+		c.lat[w] = stats.NewHistogram(windowHistDensity)
+	}
+	c.lat[w].Add(complete - arrival)
+}
+
+// GCStarted marks the beginning of a GC round.
+func (c *Collector) GCStarted(at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	c.gcActive, c.gcSince, c.gcSeen = true, at, true
+}
+
+// GCFinished marks the end of a GC round, crediting the busy interval.
+func (c *Collector) GCFinished(at sim.Time) {
+	if c == nil || !c.gcActive {
+		return
+	}
+	c.touch(at)
+	c.gcBusy = c.spread(c.gcBusy, c.gcSince, at)
+	c.gcActive = false
+}
+
+// GCCopied counts one valid-page copy during collection.
+func (c *Collector) GCCopied(at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	w := c.slot(at)
+	c.gcCopies = growI64(c.gcCopies, w)
+	c.gcCopies[w]++
+	c.gcSeen = true
+}
+
+// GrantWait records one resolved Omnibus grant arbitration: the wait
+// interval [from, to) is integrated across windows and the grant is
+// counted in the window where it resolved. Zero-wait grants still
+// count.
+func (c *Collector) GrantWait(from, to sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(to)
+	c.grantWait = c.spread(c.grantWait, from, to)
+	w := c.slot(to)
+	c.grantCount = growI64(c.grantCount, w)
+	c.grantCount[w]++
+	c.grantSeen = true
+}
+
+// Event counts one instant of the named class (RAS/fault events:
+// "program-fail", "grant-drop", "write-stall", ...).
+func (c *Collector) Event(class string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	w := c.slot(at)
+	c.events[class] = growI64(c.events[class], w)
+	c.events[class][w]++
+}
+
+// RegisterTenants declares the tenant names, in display order, before
+// any TenantDepth calls.
+func (c *Collector) RegisterTenants(names []string) {
+	if c == nil {
+		return
+	}
+	for _, n := range names {
+		c.tenants = append(c.tenants, tenantSeries{name: n})
+	}
+}
+
+// TenantDepth records a change of one tenant's submission-queue depth.
+// Calls must be time-ordered (they come from inside the simulation).
+func (c *Collector) TenantDepth(name string, depth int, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	for i := range c.tenants {
+		t := &c.tenants[i]
+		if t.name != name {
+			continue
+		}
+		if t.depth > 0 {
+			t.depthDur = c.spreadDepth(t.depthDur, t.at, at, t.depth)
+		}
+		t.depth, t.at = depth, at
+		return
+	}
+}
+
+// spreadDepth credits depth x duration over [from, to).
+func (c *Collector) spreadDepth(s []sim.Time, from, to sim.Time, depth int) []sim.Time {
+	if to <= from || depth == 0 {
+		return s
+	}
+	s = growT(s, c.slot(to))
+	for w := c.slot(from); w <= c.slot(to); w++ {
+		start, end := sim.Time(w)*c.window, sim.Time(w+1)*c.window
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		if end > start {
+			s[w] += (end - start) * sim.Time(depth)
+		}
+	}
+	return s
+}
+
+// RebuildPage counts one array stripe page rebuilt onto a spare.
+func (c *Collector) RebuildPage(at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	w := c.slot(at)
+	c.rebuilt = growI64(c.rebuilt, w)
+	c.rebuilt[w]++
+	c.rebuildSeen = true
+}
+
+// AddMark records a named instant surfaced verbatim in the summary
+// (rebuild detection, rebuild completion, ...).
+func (c *Collector) AddMark(name string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	c.marks = append(c.marks, Mark{Name: name, AtUs: at.Microseconds()})
+}
+
+// Requests returns the number of attributed requests finished so far.
+func (c *Collector) Requests() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.requests
+}
+
+// AttributionViolations returns how many finished requests had phase
+// durations that did not sum exactly to their end-to-end latency.
+// The invariant test asserts this stays zero on real runs.
+func (c *Collector) AttributionViolations() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.attViolated
+}

@@ -130,6 +130,26 @@ func (r *Recorder) ExportChrome(w io.Writer) error {
 	return bw.Flush()
 }
 
+// CounterSeries appends one Perfetto counter track: a "C"-phase sample
+// per window, named name, with the value keyed by unit in the args.
+// Sample i sits at the start of window i. Perfetto groups counter
+// events by (pid, name), so every series becomes its own counter lane
+// under the process, alongside the span tracks. Nil-safe.
+func (r *Recorder) CounterSeries(name, unit string, window sim.Time, values []float64) {
+	if r == nil {
+		return
+	}
+	for i, v := range values {
+		r.events = append(r.events, event{
+			Name: name,
+			Cat:  "telemetry",
+			Ph:   phCounter,
+			Ts:   window * sim.Time(i),
+			Args: []KV{{K: unit, V: v}},
+		})
+	}
+}
+
 // formatID renders an async span id as the hex string Chrome expects.
 func formatID(id uint64) string {
 	const digits = "0123456789abcdef"

@@ -68,6 +68,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	full := fs.Bool("full", false, "full Table II geometry (slow); default is the scaled geometry")
 	checkFlag := fs.Bool("check", false, "attach the invariant checker and verify the run at drain")
+	shards := fs.Int("shards", 0, "run on a partitioned engine with this many shards (0 or 1 = serial); results are byte-identical at any count")
 	list := fs.Bool("list", false, "list named traces and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +113,10 @@ func run(args []string, stdout io.Writer) error {
 	if *checkFlag {
 		cfg.Check = &check.Config{}
 	}
+	if *shards < 0 {
+		return fmt.Errorf("negative shard count %d", *shards)
+	}
+	cfg.Shards = *shards
 
 	s := ssd.New(arch, cfg)
 	foot := s.Config.LogicalPages()
@@ -171,9 +176,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	// Engine.Run plus an explicit verify so a violation surfaces as a
-	// clean error instead of SSD.Run's panic.
-	end := s.Engine.Run()
+	// Drain (serial or sharded per -shards) plus an explicit verify so a
+	// violation surfaces as a clean error instead of SSD.Run's panic.
+	end := s.Drain()
 	if s.Checker.Enabled() {
 		if err := s.VerifyInvariants(); err != nil {
 			return err

@@ -133,18 +133,31 @@ func (h *eventHeap) popMin() event {
 
 // totalFired accumulates events executed across every engine in the
 // process — the feed behind the runner package's -progress reporter.
-// Engines publish their delta once per Run/RunUntil call rather than
-// per event, so the shared counter costs one atomic add per drain, not
-// one per event, and the hot step loop stays contention-free.
+// Engines publish in batches of firedFlushBatch events rather than per
+// event (plus one unconditional flush when a full Run drains), so N
+// engines stepping in lockstep windows — each window a short RunUntil or
+// RunBefore call — cost one atomic add per ~8k events each instead of
+// one per call, and the hot step loop stays contention-free.
 var totalFired atomic.Int64
 
+// firedFlushBatch is the unpublished-event threshold at which an engine
+// pushes its delta to totalFired. Large enough that per-window drains
+// from many shards don't contend on the atomic; small enough that
+// -progress never lags a live engine by more than a blink.
+const firedFlushBatch = 8192
+
 // EventsFiredTotal returns the process-wide number of events executed
-// across all engines. Updated at Run/RunUntil granularity, so it lags
-// an engine mid-drain; it is a progress signal, not an exact census.
+// across all engines. Updated every firedFlushBatch events and at every
+// full Run drain, so it lags an engine mid-drain by less than one batch;
+// it is a progress signal, not an exact census.
 func EventsFiredTotal() int64 { return totalFired.Load() }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; all model code runs inside event callbacks.
+// concurrent use; all model code runs inside event callbacks. Distinct
+// engines are independent: N goroutines may each drive their own engine
+// concurrently (the runner's per-job engines, or ShardedEngine's
+// per-shard queues) with no shared mutable state beyond the batched
+// EventsFiredTotal counter.
 type Engine struct {
 	now    Time
 	seq    int64
@@ -152,7 +165,26 @@ type Engine struct {
 	fired  int64
 	// counted is how much of fired has been published to totalFired.
 	counted int64
+	// interrupt asks the innermost RunBefore loop to return after the
+	// event currently executing — the hook ShardedEngine uses to cut an
+	// exclusive full-speed drain at the first cross-shard post.
+	interrupt bool
+	// highWater tracks the deepest the event queue has been since the
+	// last full drain; recentHW keeps the marks of the last few drained
+	// Runs so the backing array can shrink once a big-config run is
+	// provably over, not on the first quiet window after it.
+	highWater int
+	recentHW  [hwRuns]int
+	hwIdx     int
 }
+
+// hwRuns is how many drained Runs of queue high-water history inform the
+// shrink decision; minShrinkCap is the capacity below which shrinking is
+// never worth a reallocation.
+const (
+	hwRuns       = 4
+	minShrinkCap = 1024
+)
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -187,6 +219,9 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	if n := len(e.events); n > e.highWater {
+		e.highWater = n
+	}
 }
 
 // Run executes events until the queue drains and returns the final time.
@@ -194,18 +229,46 @@ func (e *Engine) Run() Time {
 	for len(e.events) > 0 {
 		e.step()
 	}
-	e.flushFired()
+	e.FlushEventsFired()
+	e.noteDrained()
 	return e.now
 }
 
-// flushFired publishes events fired since the last flush to the
-// process-wide counter.
-func (e *Engine) flushFired() {
+// FlushEventsFired publishes any events fired since the last flush to the
+// process-wide EventsFiredTotal counter, regardless of the batching
+// threshold. Run calls it at every full drain; window drivers
+// (ShardedEngine) call it once per simulation so the final census is
+// exact even when every window stayed under the batch size.
+func (e *Engine) FlushEventsFired() {
 	if d := e.fired - e.counted; d > 0 {
 		totalFired.Add(d)
 		e.counted = e.fired
 	}
 }
+
+// noteDrained records the queue's high-water mark for the Run that just
+// drained and shrinks the heap's backing array once the capacity exceeds
+// 4x the deepest queue any of the last hwRuns Runs needed. Big-config
+// sweeps reuse one engine across many Runs; without this, a single
+// deep-queue run pins its peak-size slice (and every event closure slot
+// in it) for the engine's remaining lifetime.
+func (e *Engine) noteDrained() {
+	e.recentHW[e.hwIdx%hwRuns] = e.highWater
+	e.hwIdx++
+	need := 0
+	for _, hw := range e.recentHW {
+		if hw > need {
+			need = hw
+		}
+	}
+	if c := cap(e.events); c >= minShrinkCap && c > 4*need {
+		e.events = make(eventHeap, 0, 2*need)
+	}
+	e.highWater = 0
+}
+
+// heapCap exposes the event queue's backing capacity to tests.
+func (e *Engine) heapCap() int { return cap(e.events) }
 
 // RunUntil executes every event with a timestamp <= deadline, including
 // events those events schedule into the window, and returns the number of
@@ -214,7 +277,9 @@ func (e *Engine) flushFired() {
 // advances to the deadline even if the last event fired earlier (or no
 // event fired at all), and an event scheduled exactly at the deadline
 // does fire. If the deadline precedes the current clock, nothing fires
-// and the clock is unchanged.
+// and the clock is unchanged. EventsFiredTotal publication rides the
+// batching threshold (see EventsFiredTotal), so windowed lockstep drains
+// from many shards do not contend on the shared atomic.
 func (e *Engine) RunUntil(deadline Time) int64 {
 	var n int64
 	for len(e.events) > 0 && e.events[0].at <= deadline {
@@ -224,15 +289,45 @@ func (e *Engine) RunUntil(deadline Time) int64 {
 	if e.now < deadline {
 		e.now = deadline
 	}
-	e.flushFired()
 	return n
 }
+
+// RunBefore executes every event with a timestamp strictly before limit
+// and returns the number fired. Unlike RunUntil it never forces the
+// clock forward: on return Now is the timestamp of the last event
+// executed, so a windowed drive that ends on a window boundary leaves
+// the clock — and every Now-derived statistic — exactly where a single
+// uninterrupted Run would have. It is the window primitive of the
+// sharded engine: conservative lockstep runs each shard RunBefore(T+W).
+// An Interrupt call from inside an executing event stops the loop after
+// that event returns.
+func (e *Engine) RunBefore(limit Time) int64 {
+	var n int64
+	for len(e.events) > 0 && e.events[0].at < limit {
+		e.step()
+		n++
+		if e.interrupt {
+			break
+		}
+	}
+	e.interrupt = false
+	return n
+}
+
+// Interrupt asks the innermost RunBefore loop to return after the event
+// currently executing completes. It must be called from model code
+// running inside that event (the engine is single-threaded); it is a
+// no-op outside RunBefore. ShardedEngine uses it to cut an exclusive
+// full-speed drain the moment a cross-shard message appears.
+func (e *Engine) Interrupt() { e.interrupt = true }
 
 // RunFor advances the clock by d, executing everything due in the window.
 func (e *Engine) RunFor(d Time) int64 { return e.RunUntil(e.now + d) }
 
 // Step executes exactly one event if any is pending, reporting whether one
-// fired.
+// fired. Fired events feed EventsFiredTotal through the same batching
+// threshold as the run loops, so a caller single-stepping an engine (or
+// a window driver draining in tiny slices) still surfaces progress.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -248,5 +343,9 @@ func (e *Engine) step() {
 	}
 	e.now = ev.at
 	e.fired++
+	if e.fired-e.counted >= firedFlushBatch {
+		totalFired.Add(e.fired - e.counted)
+		e.counted = e.fired
+	}
 	ev.fn()
 }

@@ -246,8 +246,11 @@ func TestEngineOrderProperty(t *testing.T) {
 }
 
 // TestEventsFiredTotal: engines publish their fired-event delta to the
-// process-wide counter once per Run/RunUntil drain, and re-draining a
-// finished engine publishes nothing twice.
+// process-wide counter in firedFlushBatch batches plus one unconditional
+// flush at every full Run drain. Partial drains (RunUntil, RunBefore,
+// Step) below the batch size publish nothing — that is what keeps N
+// shards doing per-window drains off the shared atomic — and a
+// re-drained engine publishes nothing twice.
 func TestEventsFiredTotal(t *testing.T) {
 	before := EventsFiredTotal()
 	e := NewEngine()
@@ -265,11 +268,114 @@ func TestEventsFiredTotal(t *testing.T) {
 	e.Schedule(Microsecond, func() {})
 	e.Schedule(2*Microsecond, func() {})
 	e.RunUntil(e.Now() + Microsecond)
-	if got := EventsFiredTotal() - before; got != 6 {
-		t.Fatalf("total advanced by %d after partial RunUntil, want 6", got)
+	if got := EventsFiredTotal() - before; got != 5 {
+		t.Fatalf("sub-batch RunUntil published early: total advanced by %d, want 5", got)
+	}
+	e.Step()
+	if got := EventsFiredTotal() - before; got != 5 {
+		t.Fatalf("sub-batch Step published early: total advanced by %d, want 5", got)
 	}
 	e.Run()
 	if got := EventsFiredTotal() - before; got != 7 {
 		t.Fatalf("total advanced by %d after final drain, want 7", got)
+	}
+}
+
+// TestEventsFiredTotalBatchThreshold: once an engine accumulates
+// firedFlushBatch unpublished events, the very next event publishes the
+// batch even though no Run has drained — the fix for windowed lockstep
+// drives (and single-stepping) starving the -progress feed.
+func TestEventsFiredTotalBatchThreshold(t *testing.T) {
+	before := EventsFiredTotal()
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < firedFlushBatch+10 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	// Drive entirely through RunBefore windows, never a full Run.
+	for e.Pending() > 0 && e.Now() < Time(firedFlushBatch) {
+		e.RunBefore(e.Now() + 100)
+	}
+	if got := EventsFiredTotal() - before; got < firedFlushBatch {
+		t.Fatalf("windowed drive published %d events, want >= %d (batch threshold)", got, firedFlushBatch)
+	}
+	e.Run()
+	if got := EventsFiredTotal() - before; got != int64(n) {
+		t.Fatalf("final drain published %d, want %d", got, n)
+	}
+}
+
+// TestRunBefore pins the window primitive's contract: strictly-before
+// semantics, no forced clock advance, and interruption.
+func TestRunBefore(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if n := e.RunBefore(10); n != 1 {
+		t.Fatalf("RunBefore(10) fired %d events, want 1 (strictly before)", n)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock forced to %v, want 5 (last executed event)", e.Now())
+	}
+	if n := e.RunBefore(11); n != 1 {
+		t.Fatalf("RunBefore(11) fired %d events, want 1", n)
+	}
+	if n := e.RunBefore(100); n != 1 || e.Now() != 15 {
+		t.Fatalf("final window fired %d events at now=%v, want 1 at 15", n, e.Now())
+	}
+
+	// Interrupt stops the loop after the current event.
+	var order []int
+	e.Schedule(1, func() { order = append(order, 1); e.Interrupt() })
+	e.Schedule(2, func() { order = append(order, 2) })
+	if n := e.RunBefore(100); n != 1 {
+		t.Fatalf("interrupted RunBefore fired %d events, want 1", n)
+	}
+	if n := e.RunBefore(100); n != 1 || len(order) != 2 {
+		t.Fatalf("resume after interrupt fired %d events (order %v), want the remaining 1", n, order)
+	}
+}
+
+// TestEventHeapShrinks: a run that piles up a huge queue must not pin
+// its peak-size backing array forever. After enough small drained Runs
+// push the big one out of the high-water history, capacity falls back
+// toward what the recent runs actually needed.
+func TestEventHeapShrinks(t *testing.T) {
+	e := NewEngine()
+	const big = 50_000
+	for i := 0; i < big; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	peak := e.heapCap()
+	if peak < big {
+		t.Fatalf("heap capacity %d below queue depth %d", peak, big)
+	}
+	// hwRuns small drains age the big run out of the history window.
+	for r := 0; r < hwRuns+1; r++ {
+		for i := 0; i < 8; i++ {
+			e.Schedule(Time(i), func() {})
+		}
+		e.Run()
+	}
+	if c := e.heapCap(); c >= peak/4 {
+		t.Fatalf("heap capacity still %d after small runs (peak %d); want < peak/4", c, peak)
+	}
+	// The engine still works after shrinking.
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Time(i), func() { fired++ })
+	}
+	e.Run()
+	if fired != 1000 {
+		t.Fatalf("post-shrink run fired %d/1000 events", fired)
 	}
 }

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// synthRun drives a shard-count-agnostic synthetic model — numCh
+// "channels" each running a dense local event chain that periodically
+// sends a request to a "controller", which replies after a round-trip
+// latency — and returns the per-channel event traces plus aggregate
+// stats. Every delay is the same at every shard count; only the routing
+// (same-shard Schedule vs cross-shard mailbox) differs, so the traces
+// must be identical whether the model runs on 1, 2, or 4 shards.
+func synthRun(shards, numCh int) (traces []string, served int, end Time, se *ShardedEngine) {
+	const window = 100 * Nanosecond
+	se = NewShardedEngine(shards, window)
+
+	shardOf := func(ch int) int {
+		if shards == 1 {
+			return 0
+		}
+		return 1 + ch%(shards-1) // controller alone on shard 0
+	}
+
+	bufs := make([]strings.Builder, numCh)
+	for c := 0; c < numCh; c++ {
+		c := c
+		sh := shardOf(c)
+		eng := se.Shard(sh)
+		step := Time(3+c) * Nanosecond
+		var tick func(i int)
+		tick = func(i int) {
+			fmt.Fprintf(&bufs[c], "e%d@%d;", i, int64(eng.Now()))
+			if i%7 == 3 {
+				// Request to the controller; it replies after the same
+				// latency. 107ns clears the 100ns lookahead bound and is
+				// chosen so no reply ever collides with a tick instant
+				// (214 is not a multiple of any channel step): same-time
+				// cross-shard arrivals are the one place windowed
+				// delivery may legitimately order differently than a
+				// serial run, and this test pins everything else.
+				const hop = 107 * Nanosecond
+				se.Post(sh, 0, hop, func() {
+					served++
+					se.Post(0, sh, hop, func() {
+						fmt.Fprintf(&bufs[c], "r%d@%d;", i, int64(eng.Now()))
+					})
+				})
+			}
+			if i < 40 {
+				eng.Schedule(step, func() { tick(i + 1) })
+			}
+		}
+		eng.Schedule(Time(c)*Nanosecond, func() { tick(0) })
+	}
+
+	end = se.Run()
+	traces = make([]string, numCh)
+	for c := range bufs {
+		traces[c] = bufs[c].String()
+	}
+	return traces, served, end, se
+}
+
+// TestShardedIdenticalAcrossShardCounts is the core determinism contract
+// at the sim level: the same model produces identical per-channel event
+// traces, controller counts, final clock, and total event count at 1, 2,
+// and 4 shards — and repeated 4-shard runs replay bit-for-bit.
+func TestShardedIdenticalAcrossShardCounts(t *testing.T) {
+	const numCh = 6
+	refTraces, refServed, refEnd, refSE := synthRun(1, numCh)
+	refFired := refSE.EventsFired()
+	if refFired == 0 || refServed == 0 {
+		t.Fatalf("degenerate reference run: fired=%d served=%d", refFired, refServed)
+	}
+	for _, shards := range []int{2, 4, 4} { // 4 twice: replay determinism
+		traces, served, end, se := synthRun(shards, numCh)
+		if !reflect.DeepEqual(traces, refTraces) {
+			t.Fatalf("shards=%d traces diverge from serial:\n got: %v\nwant: %v", shards, traces, refTraces)
+		}
+		if served != refServed || end != refEnd || se.EventsFired() != refFired {
+			t.Fatalf("shards=%d aggregates diverge: served=%d end=%v fired=%d, want %d/%v/%d",
+				shards, served, end, se.EventsFired(), refServed, refEnd, refFired)
+		}
+		if se.CrossPosts() == 0 {
+			t.Fatalf("shards=%d run routed no posts through the mailbox — the test exercised nothing", shards)
+		}
+		if cp := se.CriticalPathEvents(); cp <= 0 || cp > se.EventsFired() {
+			t.Fatalf("shards=%d critical path %d outside (0, %d]", shards, cp, se.EventsFired())
+		}
+		if se.Pending() != 0 {
+			t.Fatalf("shards=%d left %d events pending after Run", shards, se.Pending())
+		}
+	}
+}
+
+// TestShardedMailboxOrder pins the barrier delivery order: posts from
+// different source shards targeting the same destination instant are
+// applied in (window, source shard, post order), so the destination
+// executes them in that order regardless of which worker goroutine
+// finished its window first.
+func TestShardedMailboxOrder(t *testing.T) {
+	const window = 10 * Nanosecond
+	se := NewShardedEngine(3, window)
+	var order []string
+	target := 50 * Nanosecond
+	// Both sources aim at the same absolute destination time; shard 2
+	// posts "first" within its own window, but shard 1's mailbox drains
+	// first at the barrier.
+	se.Shard(2).Schedule(Nanosecond, func() {
+		se.Post(2, 0, target-Nanosecond, func() { order = append(order, "from2a") })
+		se.Post(2, 0, target-Nanosecond, func() { order = append(order, "from2b") })
+	})
+	se.Shard(1).Schedule(2*Nanosecond, func() {
+		se.Post(1, 0, target-2*Nanosecond, func() { order = append(order, "from1") })
+	})
+	se.Run()
+	want := []string{"from1", "from2a", "from2b"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("delivery order %v, want %v (src-shard order, then post order)", order, want)
+	}
+}
+
+// TestShardedLookaheadViolationPanics: a cross-shard post under the
+// window is a partition bug and must panic, not silently serialize.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	se := NewShardedEngine(2, 100*Nanosecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard post under the lookahead window did not panic")
+		}
+	}()
+	se.Post(0, 1, 99*Nanosecond, func() {})
+}
+
+// TestShardedExclusiveDrainCausality exercises the exclusive-mode fast
+// path: long stretches where one shard is the only active one must drain
+// at full speed yet stop at the first cross-shard post, so a reply
+// posted back never lands in the lone shard's past. The events here are
+// 1ps apart — thousands of times finer than the window — so any overrun
+// past the interrupt point would trip Engine.At's schedule-into-the-past
+// panic immediately.
+func TestShardedExclusiveDrainCausality(t *testing.T) {
+	const window = 10 * Nanosecond
+	se := NewShardedEngine(2, window)
+	pong := 0
+	var tick func(i int)
+	tick = func(i int) {
+		if i%5000 == 2500 {
+			se.Post(1, 0, window, func() {
+				se.Post(0, 1, window, func() { pong++ })
+			})
+		}
+		if i < 20000 {
+			se.Shard(1).Schedule(Picosecond, func() { tick(i + 1) })
+		}
+	}
+	se.Shard(1).Schedule(0, func() { tick(0) })
+	end := se.Run()
+	if pong != 4 {
+		t.Fatalf("completed %d ping-pongs, want 4", pong)
+	}
+	if want := Time(20000); end < want {
+		t.Fatalf("final clock %v before the chain end %v", end, want)
+	}
+	// Shard 1's chain dominates every window; the only off-critical-path
+	// work is the 4 controller events, which overlap windows where the
+	// chain fires thousands of events.
+	if got, want := se.CriticalPathEvents(), se.EventsFired()-int64(pong); got != want {
+		t.Fatalf("critical path %d, want %d (all but the %d overlapped controller events)",
+			got, want, pong)
+	}
+}
+
+// TestShardedEngineArgChecks covers constructor and accessor guards.
+func TestShardedEngineArgChecks(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewShardedEngine(0, Nanosecond) },
+		func() { NewShardedEngine(2, 0) },
+		func() { NewShardedEngine(2, Nanosecond).SetWindow(0) },
+		func() { NewShardedEngine(2, Nanosecond).Post(0, 5, Nanosecond, func() {}) },
+		func() { NewShardedEngine(2, Nanosecond).Post(0, 1, Nanosecond, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	se := NewShardedEngine(3, 2*Nanosecond)
+	if se.NumShards() != 3 || se.Window() != 2*Nanosecond {
+		t.Fatalf("NumShards/Window = %d/%v, want 3/2ns", se.NumShards(), se.Window())
+	}
+	se.SetWindow(5 * Nanosecond)
+	if se.Window() != 5*Nanosecond {
+		t.Fatalf("SetWindow did not take: %v", se.Window())
+	}
+}
+
+// TestEventsFiredTotalConcurrentEngines is the satellite race test: N
+// goroutine-local engines drain concurrently — the exact shape of both
+// the runner's per-job engines and ShardedEngine's window workers — and
+// the shared counter must end exactly at the sum, with concurrent
+// readers racing the batched writers. Run under -race in CI.
+func TestEventsFiredTotalConcurrentEngines(t *testing.T) {
+	const (
+		goroutines = 8
+		perEngine  = 3 * firedFlushBatch / 2 // crosses the batch threshold mid-run
+	)
+	before := EventsFiredTotal()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if EventsFiredTotal() < before {
+					panic("EventsFiredTotal went backwards")
+				}
+			}
+		}
+	}()
+	var engines sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		engines.Add(1)
+		go func() {
+			defer engines.Done()
+			e := NewEngine()
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < perEngine {
+					e.Schedule(Nanosecond, tick)
+				}
+			}
+			e.Schedule(Nanosecond, tick)
+			e.Run()
+		}()
+	}
+	engines.Wait()
+	close(stop)
+	wg.Wait()
+	if got := EventsFiredTotal() - before; got != goroutines*perEngine {
+		t.Fatalf("concurrent engines published %d events, want %d", got, goroutines*perEngine)
+	}
+}

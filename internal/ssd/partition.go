@@ -1,0 +1,105 @@
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// Partition is the shard map of a partitioned run: how the device's chip
+// array divides into groups along the architecture's natural seams, which
+// engine shard each group lives on, and the conservative lookahead window
+// the groups' fabric latencies support.
+//
+// The seams follow the interconnect topology, because that is where the
+// model's latencies are:
+//
+//   - Bus architectures (baseSSD, pSSD): one group per h-channel pair —
+//     two channels share a shard so an 8-channel device fills 4 shards.
+//   - Omnibus (pnSSD, pnSSD+split): one group per v-channel column; the
+//     v-channel is the resource a column's chips contend on, so a column
+//     is the natural unit of locality.
+//   - Mesh (NoSSD): one group per mesh row (a grid channel), matching the
+//     row-major injection links.
+//
+// Shard 0 always holds the host, FTL, controller SoC, and every fabric
+// resource: the dispatch edges between those layers and the channels are
+// synchronous (zero simulated latency), so the whole reactive complex
+// must share a shard — see DESIGN.md §15 for why that is a property of
+// the model, not of the engine. Chip groups map onto shards 1..N-1
+// round-robin.
+type Partition struct {
+	// Shards is the effective shard count including shard 0. At most
+	// Groups+1: more shards than groups would idle.
+	Shards int
+	// Groups is the number of natural chip groups the topology yields.
+	Groups int
+	// Window is the conservative lookahead bound derived from the
+	// fabric's minimum cross-group latency at plan time.
+	Window sim.Time
+	// groupShard[g] is the shard of group g; groupOf[ch][w] the group of
+	// chip (ch, w).
+	groupShard []int
+	groupOf    [][]int
+}
+
+// PlanPartition derives the shard map for arch from the device geometry,
+// capping the effective shard count at the natural group count + 1.
+// requested must be at least 1.
+func PlanPartition(arch Arch, cfg Config, requested int, window sim.Time) Partition {
+	if requested < 1 {
+		panic(fmt.Sprintf("ssd: requested %d shards", requested))
+	}
+	p := Partition{Window: window}
+	group := func(ch, way int) int { return 0 }
+	switch arch {
+	case ArchBase, ArchPSSD:
+		p.Groups = (cfg.Channels + 1) / 2
+		group = func(ch, way int) int { return ch / 2 }
+	case ArchPnSSD, ArchPnSSDSplit:
+		numV := cfg.Channels
+		if cfg.Ways < numV {
+			numV = cfg.Ways
+		}
+		colsPerV := (cfg.Ways + numV - 1) / numV
+		p.Groups = numV
+		group = func(ch, way int) int { return way / colsPerV }
+	case ArchNoSSDPin, ArchNoSSDFree:
+		p.Groups = cfg.Channels
+		group = func(ch, way int) int { return ch }
+	default:
+		panic(fmt.Sprintf("ssd: unknown architecture %d", int(arch)))
+	}
+	p.Shards = requested
+	if max := p.Groups + 1; p.Shards > max {
+		p.Shards = max
+	}
+	p.groupShard = make([]int, p.Groups)
+	for g := range p.groupShard {
+		if p.Shards > 1 {
+			p.groupShard[g] = 1 + g%(p.Shards-1)
+		}
+	}
+	p.groupOf = make([][]int, cfg.Channels)
+	for ch := range p.groupOf {
+		p.groupOf[ch] = make([]int, cfg.Ways)
+		for w := range p.groupOf[ch] {
+			p.groupOf[ch][w] = group(ch, w)
+		}
+	}
+	return p
+}
+
+// ShardOf returns the shard a chip's group maps to.
+func (p Partition) ShardOf(id controller.ChipID) int {
+	return p.groupShard[p.GroupOf(id)]
+}
+
+// GroupOf returns the natural group of a chip.
+func (p Partition) GroupOf(id controller.ChipID) int {
+	if id.Channel < 0 || id.Channel >= len(p.groupOf) || id.Way < 0 || id.Way >= len(p.groupOf[id.Channel]) {
+		panic(fmt.Sprintf("ssd: chip %v outside partition", id))
+	}
+	return p.groupOf[id.Channel][id.Way]
+}

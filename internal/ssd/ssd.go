@@ -122,6 +122,14 @@ type Config struct {
 	// hook detached, so the simulation is bit-identical to a build
 	// without telemetry.
 	Telemetry *telemetry.Config
+	// Shards, when above 1, runs the device on a partitioned engine
+	// (sim.ShardedEngine): the chip array divides into topology-natural
+	// groups (see PlanPartition), the lockstep window comes from the
+	// fabric's Lookahead bound, and Run drains through the sharded
+	// engine. Every output is byte-identical at any shard count — 0, 1,
+	// and the serial engine included; that contract is pinned by tests
+	// and CI the same way the runner pinned -parallel.
+	Shards int
 }
 
 // DefaultConfig returns the paper's Table II parameters: 8 channels, 8
@@ -158,6 +166,9 @@ func (c Config) Validate() {
 	}
 	if c.LogicalUtilization <= 0 || c.LogicalUtilization >= 1 {
 		panic("ssd: LogicalUtilization must be in (0,1)")
+	}
+	if c.Shards < 0 {
+		panic(fmt.Sprintf("ssd: negative shard count %d", c.Shards))
 	}
 	if c.Frontend != nil {
 		if err := c.Frontend.Validate(); err != nil {
@@ -214,6 +225,13 @@ type SSD struct {
 	// Telemetry is the time-series collector, nil unless
 	// Config.Telemetry was set.
 	Telemetry *telemetry.Collector
+	// Sharded is the partitioned engine, nil unless Config.Shards > 1.
+	// Engine is then shard 0 of it — the shard holding the host, FTL,
+	// SoC, and fabric resources — so every existing accessor keeps
+	// working unchanged.
+	Sharded *sim.ShardedEngine
+	// Partition is the shard map, nil unless Config.Shards > 1.
+	Partition *Partition
 }
 
 // RAS returns the run's RAS counters, or nil when fault injection is off.
@@ -439,13 +457,39 @@ func wireFrontend(cfg Config, h *host.Host, rec *trace.Recorder, ck *check.Check
 	return fe
 }
 
+// newEngines builds the simulation engine for cfg: a lone serial engine,
+// or — when cfg.Shards asks for partitioning — shard 0 of a
+// ShardedEngine plus the partition plan. The plan's window is
+// provisional until the fabric exists; the constructors and Drain
+// refresh it from Fabric.Lookahead.
+func newEngines(arch Arch, cfg Config) (*sim.Engine, *sim.ShardedEngine, *Partition) {
+	if cfg.Shards <= 1 {
+		return sim.NewEngine(), nil, nil
+	}
+	plan := PlanPartition(arch, cfg, cfg.Shards, sim.Nanosecond)
+	se := sim.NewShardedEngine(plan.Shards, plan.Window)
+	return se.Shard(0), se, &plan
+}
+
+// adoptLookahead records the fabric's lookahead bound as the sharded
+// engine's lockstep window once the fabric exists.
+func adoptLookahead(se *sim.ShardedEngine, part *Partition, fab controller.Fabric) {
+	if se == nil {
+		return
+	}
+	if la := fab.Lookahead(); la > 0 {
+		se.SetWindow(la)
+		part.Window = la
+	}
+}
+
 // New builds an SSD of the given architecture. The SoC and NVMe
 // bandwidths are provisioned at the architecture's total flash-channel
 // bandwidth so they never bottleneck the interconnect under study
 // (Sec VII-A).
 func New(arch Arch, cfg Config) *SSD {
 	cfg.Validate()
-	eng := sim.NewEngine()
+	eng, se, part := newEngines(arch, cfg)
 	grid := controller.NewGrid(eng, cfg.Channels, cfg.Ways, cfg.Geometry, cfg.Timing)
 
 	// Controller-side bandwidth multiplier: packetized architectures double
@@ -459,6 +503,7 @@ func New(arch Arch, cfg Config) *SSD {
 	soc := controller.NewSoc(eng, socMBps, socMBps)
 
 	fab := makeFabric(arch, eng, grid, soc, cfg)
+	adoptLookahead(se, part, fab)
 	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
@@ -466,7 +511,7 @@ func New(arch Arch, cfg Config) *SSD {
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
 	col := wireTelemetry(cfg, fab, f, h)
 	fe := wireFrontend(cfg, h, rec, ck, col)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col}
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col, Sharded: se, Partition: part}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -475,11 +520,12 @@ func New(arch Arch, cfg Config) *SSD {
 // stack identical. The arch parameter only labels the result.
 func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, pageSize int) controller.Fabric) *SSD {
 	cfg.Validate()
-	eng := sim.NewEngine()
+	eng, se, part := newEngines(arch, cfg)
 	grid := controller.NewGrid(eng, cfg.Channels, cfg.Ways, cfg.Geometry, cfg.Timing)
 	socMBps := cfg.totalFlashMBps() * 2
 	soc := controller.NewSoc(eng, socMBps, socMBps)
 	fab := mk(eng, grid, soc, cfg.Geometry.PageSize)
+	adoptLookahead(se, part, fab)
 	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
@@ -487,7 +533,7 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
 	col := wireTelemetry(cfg, fab, f, h)
 	fe := wireFrontend(cfg, h, rec, ck, col)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col}
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col, Sharded: se, Partition: part}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {
@@ -535,13 +581,34 @@ func (s *SSD) AttachChannelUtil(window sim.Time) *stats.UtilMatrix {
 	}
 }
 
+// Drain runs the simulation to completion and returns the final time,
+// routing through the partitioned engine when Config.Shards enabled one
+// and the serial engine otherwise — without verifying invariants (Run
+// does both). The sharded path refreshes the lockstep window from the
+// fabric's current Lookahead bound first: ablations may have changed the
+// underlying latencies since construction, and if one drove the bound to
+// zero (SetCtrlMsgLatency(0)) there is no lookahead left to window on,
+// so Drain falls back to draining shard 0 serially — byte-identical,
+// since the reactive model lives entirely on shard 0.
+func (s *SSD) Drain() sim.Time {
+	if s.Sharded != nil {
+		if la := s.Fabric.Lookahead(); la > 0 {
+			if la != s.Sharded.Window() {
+				s.Sharded.SetWindow(la)
+				s.Partition.Window = la
+			}
+			return s.Sharded.Run()
+		}
+	}
+	return s.Engine.Run()
+}
+
 // Run drains the event queue and returns the final simulation time. With
 // the invariant checker enabled, every drain is verified and a violation
 // panics — turning each experiment run into a correctness oracle. Use
-// Engine.Run plus VerifyInvariants to inspect violations without
-// panicking.
+// Drain plus VerifyInvariants to inspect violations without panicking.
 func (s *SSD) Run() sim.Time {
-	t := s.Engine.Run()
+	t := s.Drain()
 	if s.Checker.Enabled() {
 		if err := s.Checker.Verify(); err != nil {
 			panic(err)

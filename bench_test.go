@@ -402,6 +402,40 @@ func BenchmarkShardedEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedPick regenerates the controller-scheduling study on the
+// GC-pressure workload and reports the wires-vs-scheduling headline:
+// pSSD read p99 under each policy against the pnSSD(+split)/fifo target,
+// plus the decision counters that show the policies actually engaged.
+// The deterministic metrics (p99s, deferred, reordered) are what the
+// bench-regression gate pins; ns/op is excluded by benchjson -diff.
+func BenchmarkSchedPick(b *testing.B) {
+	opt := quickOpts()
+	opt.TraceRequests = 250
+	for i := 0; i < b.N; i++ {
+		rows := exp.SchedSweep(opt)
+		var deferred, reordered int64
+		for _, r := range rows {
+			deferred += r.Deferred
+			reordered += r.Reordered
+			if !r.Point.SpGC {
+				continue
+			}
+			switch {
+			case r.Point.Arch == ssd.ArchPSSD && r.Point.Sched == "fifo":
+				b.ReportMetric(r.P99.Microseconds(), "pssd-fifo-p99-us")
+			case r.Point.Arch == ssd.ArchPSSD && r.Point.Sched == "conflict":
+				b.ReportMetric(r.P99.Microseconds(), "pssd-conflict-p99-us")
+			case r.Point.Arch == ssd.ArchPSSD && r.Point.Sched == "ooo":
+				b.ReportMetric(r.P99.Microseconds(), "pssd-ooo-p99-us")
+			case r.Point.Arch == ssd.ArchPnSSDSplit && r.Point.Sched == "fifo":
+				b.ReportMetric(r.P99.Microseconds(), "split-fifo-p99-us")
+			}
+		}
+		b.ReportMetric(float64(deferred), "deferred")
+		b.ReportMetric(float64(reordered), "reordered")
+	}
+}
+
 // BenchmarkResourceHold measures one timed hold (Use → grant → release)
 // on an idle resource. The acceptance bar for the engine fast path is 0
 // allocs/op here: no closure pair, no boxing, reused event storage.

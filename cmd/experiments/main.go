@@ -79,7 +79,7 @@ func startProfiles(cpuPath, memPath string) func() {
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant,array (empty = all)")
+	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant,array,sched (empty = all)")
 	table := flag.String("table", "", "table to print: 1,2,3")
 	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
 	faultExp := flag.String("fault", "", "fault/RAS experiment: sweep (fault-rate x architecture), degraded (v-channel kill + grant drops), all")
@@ -167,6 +167,7 @@ func main() {
 		"contention": figContention,
 		"tenant":     figTenant,
 		"array":      figArray,
+		"sched":      figSched,
 	}
 	tables := map[string]func(exp.Options, func(*report.Table)){
 		"1": table1,
@@ -600,6 +601,31 @@ func figArray(opt exp.Options, emit func(*report.Table)) {
 			r.Latency.String(), r.P99.String(), report.F1(r.KIOPS),
 			fmt.Sprint(r.RAS.DegradedReads), fmt.Sprint(r.RAS.RebuildPages),
 			r.RebuildTime.String(), fmt.Sprint(r.RAS.FailedReads), fmt.Sprint(r.GCCopies), ok)
+	}
+	emit(t)
+}
+
+func figSched(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.SchedSweep(opt)
+	t := report.New("Controller scheduling: Venice/Sprinkler-class policies vs Omnibus wires (rocksdb-0, GC active; supplementary analysis)",
+		"architecture", "scheduler", "gc", "mean", "p99", "KIOPS", "MB/s", "GC copies", "deferred", "reordered")
+	for _, r := range rows {
+		gc := "PaGC"
+		if r.Point.SpGC {
+			gc = "SpGC"
+		}
+		t.Add(r.Point.Arch.String(), r.Point.Sched, gc, r.Mean.String(), r.P99.String(),
+			report.F1(r.KIOPS), report.F1(r.BWMBps), fmt.Sprint(r.GCCopied),
+			fmt.Sprint(r.Deferred), fmt.Sprint(r.Reordered))
+	}
+	emit(t)
+
+	noisy := exp.SchedNoisy(opt)
+	t = report.New("Controller scheduling under a noisy neighbor (dwrr + SpGC; latency tenant's tail is the score)",
+		"architecture", "scheduler", "latency p99", "latency p99.9", "SLO misses", "noisy p99", "deferred", "reordered")
+	for _, r := range noisy {
+		t.Add(r.Point.Arch.String(), r.Point.Sched, r.LatencyP99.String(), r.LatencyP999.String(),
+			fmt.Sprint(r.SLOViolations), r.NoisyP99.String(), fmt.Sprint(r.Deferred), fmt.Sprint(r.Reordered))
 	}
 	emit(t)
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/check"
+	"repro/internal/controller"
 	"repro/internal/ftl"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -68,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	full := fs.Bool("full", false, "full Table II geometry (slow); default is the scaled geometry")
 	checkFlag := fs.Bool("check", false, "attach the invariant checker and verify the run at drain")
+	sched := fs.String("sched", "fifo", "controller scheduling policy: fifo, conflict (Venice-style path reservation), ooo (Sprinkler-style die reordering)")
 	shards := fs.Int("shards", 0, "run on a partitioned engine with this many shards (0 or 1 = serial); results are byte-identical at any count")
 	list := fs.Bool("list", false, "list named traces and exit")
 	if err := fs.Parse(args); err != nil {
@@ -117,12 +119,20 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("negative shard count %d", *shards)
 	}
 	cfg.Shards = *shards
+	if _, err := controller.ParseSchedPolicy(*sched); err != nil {
+		return err
+	}
+	cfg.Scheduler = *sched
 
 	s := ssd.New(arch, cfg)
 	foot := s.Config.LogicalPages()
 	fmt.Fprintf(stdout, "architecture: %s (%s)\n", arch, arch.Describe())
 	fmt.Fprintf(stdout, "device: %d chips, %d logical pages (%d MB), GC=%s, policy=%s\n",
 		s.Grid.NumChips(), foot, foot*int64(cfg.Geometry.PageSize)/(1<<20), gc, cfg.FTL.Policy)
+	if s.Sched != nil { // fifo leaves the fabric unwrapped, so this line only appears for non-default policies
+		fmt.Fprintf(stdout, "scheduler: %s (window=%d, reorder bound=%d)\n",
+			s.Sched.Policy(), s.Sched.Window(), s.Sched.ReorderBound())
+	}
 
 	s.Host.Warmup(foot)
 	switch {
@@ -231,6 +241,11 @@ func printReport(stdout io.Writer, s *ssd.SSD, end sim.Time) error {
 		t.Add("GC pages copied", fmt.Sprint(st.GCPagesCopied))
 		t.Add("GC blocks erased", fmt.Sprint(st.GCBlocksErased))
 		t.Add("GC total time", st.GCTotalTime.String())
+	}
+	if s.Sched != nil {
+		deferred, reordered, forced := s.Sched.Counts()
+		t.Add("sched deferred / reordered / forced", fmt.Sprintf("%d / %d / %d", deferred, reordered, forced))
+		t.Add("sched peak queue", fmt.Sprint(s.Sched.MaxPending()))
 	}
 	t.Add("sysbus busy", s.Soc.SysBusBusy().String())
 	t.Add("dram busy", s.Soc.DramBusy().String())

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/array"
+	"repro/internal/controller"
 	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/host"
@@ -44,7 +45,7 @@ var patterns = map[string]workload.Pattern{
 }
 
 func main() {
-	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants, rebuildrate")
+	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants, sched, rebuildrate")
 	archFlag := flag.String("arch", "pnssd+split", "architecture (comma list allowed)")
 	patternFlag := flag.String("pattern", "rand-read", "synthetic pattern")
 	arbiterFlag := flag.String("arbiter", "rr", "queue arbiter for the tenants sweep: rr, wrr, dwrr")
@@ -88,7 +89,8 @@ func main() {
 		mk      func() ssd.Config
 		outs    int
 		req     int
-		tenants int // > 0 selects the multi-tenant open-loop path
+		tenants int    // > 0 selects the multi-tenant open-loop path
+		sched   string // non-empty selects a controller scheduling policy
 	}
 	var pts []point
 	base := func() ssd.Config {
@@ -124,6 +126,17 @@ func main() {
 		for _, n := range []int{1, 2, 4, 8, 16} {
 			n := n
 			pts = append(pts, point{x: n, mk: base, outs: *outstanding, req: n})
+		}
+	case "sched":
+		// One point per controller scheduling policy; x is the policy's
+		// ordinal so the CSV stays numeric in the x column.
+		for i, pol := range controller.SchedPolicyNames() {
+			i, pol := i, pol
+			pts = append(pts, point{x: i, mk: func() ssd.Config {
+				c := base()
+				c.Scheduler = pol
+				return c
+			}, outs: *outstanding, req: 4, sched: pol})
 		}
 	case "tenants":
 		if _, err := host.NewArbiter(*arbiterFlag); err != nil {
@@ -170,6 +183,9 @@ func main() {
 		cfg := pt.mk()
 		cfg.FTL.GCMode = ftl.GCNone
 		label := p.String()
+		if pt.sched != "" {
+			label = p.String() + "/" + pt.sched
+		}
 		if pt.tenants > 0 {
 			// Tenant-count sweep: N identical preset tenants on partitioned
 			// footprints replay open-loop through the multi-queue front end

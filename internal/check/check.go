@@ -88,6 +88,10 @@ type Checker struct {
 	tenants     []tenantState
 	tenantBound int
 
+	// scheduling-layer ledger (WatchSched): path reservations and the
+	// inflight balance.
+	sched *schedState
+
 	idleProbes  []idleProbe
 	drainChecks []drainCheck
 

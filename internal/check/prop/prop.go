@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/check"
+	"repro/internal/controller"
 	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/host"
@@ -49,13 +50,18 @@ type Case struct {
 	// queues); Tenants <= 1 drives the single-queue host directly.
 	Tenants int
 	Arbiter string
+
+	// Scheduler selects the controller scheduling policy ("fifo",
+	// "conflict", or "ooo") — the empty string, like "fifo", runs
+	// without the scheduling layer.
+	Scheduler string
 }
 
 // String renders the case compactly for failure messages.
 func (c Case) String() string {
-	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d tenants=%d/%s",
+	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d tenants=%d/%s sched=%s",
 		c.Index, c.Seed, c.Arch, c.Channels, c.Ways, c.Planes, c.Blocks, c.Pages,
-		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests, c.Tenants, c.Arbiter)
+		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests, c.Tenants, c.Arbiter, c.Scheduler)
 }
 
 // rng is a splitmix64 stream: tiny, seedable, and stable across Go
@@ -130,6 +136,7 @@ func Generate(seed uint64, n int) []Case {
 			Requests:    100 + 50*r.intn(5),
 			Tenants:     pickInt(r, 1, 2, 3),
 			Arbiter:     host.ArbiterNames()[r.intn(len(host.ArbiterNames()))],
+			Scheduler:   controller.SchedPolicyNames()[r.intn(len(controller.SchedPolicyNames()))],
 		}
 	}
 	return cases
@@ -164,6 +171,7 @@ func (c Case) Config() ssd.Config {
 			cfg.Fault.EraseFailsPerChip = 1
 		}
 	}
+	cfg.Scheduler = c.Scheduler
 	cfg.Check = &check.Config{}
 	if c.Tenants > 1 {
 		tenants := make([]host.TenantConfig, c.Tenants)

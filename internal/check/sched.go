@@ -1,0 +1,141 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+)
+
+// schedState is the scheduling-layer ledger: which path segment is held
+// by which transaction, plus the inflight count the issue/complete hooks
+// must keep balanced.
+type schedState struct {
+	window   int // reorder window the issue rank must respect; 0 = unwindowed
+	bound    int // starvation bound on the bypass counter
+	reserved map[controller.PathSeg]uint64
+	inflight int
+	issued   int64
+	done     int64
+}
+
+// WatchSched enables the scheduling-layer invariants: the reservation
+// ledger (every reserved segment is released exactly once, by its
+// holder, with no overlapping reservations), reorder-window legality (no
+// pick outside the window, no bypass count past the starvation bound),
+// and a drain check that the ledger empties. window is the reorder
+// window to enforce (0 disables the rank rule, for unwindowed policies);
+// bound is the configured starvation bound.
+func (c *Checker) WatchSched(window, bound int) {
+	if c == nil {
+		return
+	}
+	c.sched = &schedState{
+		window:   window,
+		bound:    bound,
+		reserved: make(map[controller.PathSeg]uint64),
+	}
+	c.AddDrainCheck("sched-ledger", func() error {
+		s := c.sched
+		if n := len(s.reserved); n > 0 {
+			return fmt.Errorf("%d path segment(s) still reserved after drain", n)
+		}
+		if s.inflight != 0 {
+			return fmt.Errorf("scheduler inflight count %d after drain (issued %d, completed %d)",
+				s.inflight, s.issued, s.done)
+		}
+		return nil
+	})
+}
+
+// SchedReserved implements controller.SchedChecker: no segment may be
+// reserved while another transaction holds it.
+func (c *Checker) SchedReserved(op uint64, segs []controller.PathSeg) {
+	if c == nil || c.sched == nil {
+		return
+	}
+	c.checks++
+	for _, s := range segs {
+		if holder, held := c.sched.reserved[s]; held {
+			c.violate("sched-reserve-overlap", "op %d reserves segment %v already held by op %d",
+				op, s, holder)
+			continue
+		}
+		c.sched.reserved[s] = op
+	}
+}
+
+// SchedReleased implements controller.SchedChecker: every release must
+// match an active reservation by the same transaction.
+func (c *Checker) SchedReleased(op uint64, segs []controller.PathSeg) {
+	if c == nil || c.sched == nil {
+		return
+	}
+	c.checks++
+	for _, s := range segs {
+		holder, held := c.sched.reserved[s]
+		switch {
+		case !held:
+			c.violate("sched-release", "op %d releases segment %v that is not reserved", op, s)
+		case holder != op:
+			c.violate("sched-release", "op %d releases segment %v held by op %d", op, s, holder)
+		default:
+			delete(c.sched.reserved, s)
+		}
+	}
+}
+
+// SchedIssued implements controller.SchedChecker: a windowed policy may
+// only pick among the oldest window transactions, and no transaction may
+// be bypassed more often than the starvation bound.
+func (c *Checker) SchedIssued(op uint64, rank, window, bypassed, bound int) {
+	if c == nil || c.sched == nil {
+		return
+	}
+	c.checks++
+	if c.sched.window > 0 && rank >= c.sched.window {
+		c.violate("sched-window", "op %d issued at rank %d outside the reorder window %d",
+			op, rank, c.sched.window)
+	}
+	if window != c.sched.window {
+		c.violate("sched-window", "op %d issued under window %d, scheduler configured %d",
+			op, window, c.sched.window)
+	}
+	if c.sched.bound > 0 && bypassed > c.sched.bound {
+		c.violate("sched-starvation", "op %d bypassed %d times, past the reorder bound %d",
+			op, bypassed, c.sched.bound)
+	}
+	if bound != c.sched.bound {
+		c.violate("sched-starvation", "op %d issued under bound %d, scheduler configured %d",
+			op, bound, c.sched.bound)
+	}
+	c.sched.inflight++
+	c.sched.issued++
+}
+
+// SchedCompleted implements controller.SchedChecker: completions must
+// balance issues, and the scheduler's own inflight count must agree with
+// the ledger's.
+func (c *Checker) SchedCompleted(op uint64, inflight int) {
+	if c == nil || c.sched == nil {
+		return
+	}
+	c.checks++
+	c.sched.inflight--
+	c.sched.done++
+	if c.sched.inflight < 0 {
+		c.violate("sched-inflight", "op %d completed with no matching issue", op)
+	}
+	if inflight != c.sched.inflight {
+		c.violate("sched-inflight", "op %d completion: scheduler reports %d inflight, ledger has %d",
+			op, inflight, c.sched.inflight)
+	}
+}
+
+// SchedCounts returns (issued, completed) transactions observed, for
+// cross-checks in tests. Safe on nil.
+func (c *Checker) SchedCounts() (issued, done int64) {
+	if c == nil || c.sched == nil {
+		return 0, 0
+	}
+	return c.sched.issued, c.sched.done
+}

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controller"
+)
+
+func segH(i int) controller.PathSeg { return controller.PathSeg{Kind: controller.SegH, Index: i} }
+func segV(i int) controller.PathSeg { return controller.PathSeg{Kind: controller.SegV, Index: i} }
+
+func wantRule(t *testing.T, c *Checker, rule string) {
+	t.Helper()
+	for _, v := range c.Violations() {
+		if v.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("no %q violation recorded; have %v", rule, c.Violations())
+}
+
+// TestSchedDoubleReserveCaught is the mutation test: a deliberately
+// double-reserved path segment must trip the reservation ledger.
+func TestSchedDoubleReserveCaught(t *testing.T) {
+	_, c := newChecker()
+	c.WatchSched(0, 8)
+	c.SchedReserved(1, []controller.PathSeg{segH(0), segV(2)})
+	if len(c.Violations()) != 0 {
+		t.Fatalf("clean reservation flagged: %v", c.Violations())
+	}
+	c.SchedReserved(2, []controller.PathSeg{segH(0)}) // overlaps op 1's h0
+	wantRule(t, c, "sched-reserve-overlap")
+	if !strings.Contains(c.Violations()[0].Detail, "h0") {
+		t.Fatalf("violation does not name the segment: %v", c.Violations()[0])
+	}
+}
+
+func TestSchedReleaseLedger(t *testing.T) {
+	_, c := newChecker()
+	c.WatchSched(0, 8)
+	c.SchedReserved(1, []controller.PathSeg{segH(0)})
+	c.SchedReleased(2, []controller.PathSeg{segH(0)}) // wrong owner
+	wantRule(t, c, "sched-release")
+
+	_, c2 := newChecker()
+	c2.WatchSched(0, 8)
+	c2.SchedReleased(1, []controller.PathSeg{segV(3)}) // never reserved
+	wantRule(t, c2, "sched-release")
+
+	// Exactly-once: reserve, release, then a second release must trip.
+	_, c3 := newChecker()
+	c3.WatchSched(0, 8)
+	c3.SchedReserved(1, []controller.PathSeg{segH(1)})
+	c3.SchedReleased(1, []controller.PathSeg{segH(1)})
+	if len(c3.Violations()) != 0 {
+		t.Fatalf("balanced reserve/release flagged: %v", c3.Violations())
+	}
+	c3.SchedReleased(1, []controller.PathSeg{segH(1)})
+	wantRule(t, c3, "sched-release")
+}
+
+func TestSchedWindowLegality(t *testing.T) {
+	_, c := newChecker()
+	c.WatchSched(4, 8)
+	c.SchedIssued(1, 3, 4, 0, 8) // rank 3 inside window 4: legal
+	if len(c.Violations()) != 0 {
+		t.Fatalf("legal issue flagged: %v", c.Violations())
+	}
+	c.SchedIssued(2, 4, 4, 0, 8) // rank == window: outside
+	wantRule(t, c, "sched-window")
+
+	// A scheduler reporting a different window than configured is itself
+	// a violation (the knob and the enforcement drifted apart).
+	_, c2 := newChecker()
+	c2.WatchSched(4, 8)
+	c2.SchedIssued(1, 0, 16, 0, 8)
+	wantRule(t, c2, "sched-window")
+}
+
+func TestSchedStarvationBound(t *testing.T) {
+	_, c := newChecker()
+	c.WatchSched(0, 8)
+	c.SchedIssued(1, 0, 0, 8, 8) // at the bound: legal
+	if len(c.Violations()) != 0 {
+		t.Fatalf("at-bound issue flagged: %v", c.Violations())
+	}
+	c.SchedIssued(2, 0, 0, 9, 8) // past the bound
+	wantRule(t, c, "sched-starvation")
+}
+
+func TestSchedInflightBalance(t *testing.T) {
+	_, c := newChecker()
+	c.WatchSched(0, 8)
+	c.SchedIssued(1, 0, 0, 0, 8)
+	c.SchedCompleted(1, 0)
+	if issued, done := c.SchedCounts(); issued != 1 || done != 1 {
+		t.Fatalf("counts = (%d, %d), want (1, 1)", issued, done)
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("balanced issue/complete flagged: %v", c.Violations())
+	}
+	c.SchedCompleted(2, 0) // completion with no issue
+	wantRule(t, c, "sched-inflight")
+
+	// Scheduler-reported inflight disagreeing with the ledger trips too.
+	_, c2 := newChecker()
+	c2.WatchSched(0, 8)
+	c2.SchedIssued(1, 0, 0, 0, 8)
+	c2.SchedCompleted(1, 5)
+	wantRule(t, c2, "sched-inflight")
+}
+
+func TestSchedDrainLedger(t *testing.T) {
+	_, c := newChecker()
+	c.WatchSched(0, 8)
+	c.SchedReserved(1, []controller.PathSeg{segH(0)})
+	c.SchedIssued(1, 0, 0, 0, 8)
+	err := c.Verify()
+	if err == nil || !strings.Contains(err.Error(), "sched-ledger") {
+		t.Fatalf("leaked reservation + inflight not caught at drain: %v", err)
+	}
+	c.SchedReleased(1, []controller.PathSeg{segH(0)})
+	c.SchedCompleted(1, 0)
+	if err := c.Verify(); err != nil {
+		t.Fatalf("drained ledger still dirty: %v", err)
+	}
+}
+
+// TestSchedHooksInertWithoutWatch pins nil-safety: the SchedChecker
+// methods are no-ops on a nil checker and on one that never enabled the
+// scheduling ledger.
+func TestSchedHooksInertWithoutWatch(t *testing.T) {
+	var nilC *Checker
+	nilC.WatchSched(4, 8)
+	nilC.SchedReserved(1, []controller.PathSeg{segH(0)})
+	nilC.SchedReleased(1, []controller.PathSeg{segH(0)})
+	nilC.SchedIssued(1, 0, 0, 0, 0)
+	nilC.SchedCompleted(1, 0)
+	if issued, done := nilC.SchedCounts(); issued != 0 || done != 0 {
+		t.Fatal("nil checker accumulated scheduler state")
+	}
+
+	_, c := newChecker()
+	c.SchedReserved(1, []controller.PathSeg{segH(0)})
+	c.SchedIssued(1, 99, 1, 99, 1)
+	c.SchedCompleted(2, -5)
+	if c.Checks() != 0 || len(c.Violations()) != 0 {
+		t.Fatal("unwatched checker evaluated scheduler assertions")
+	}
+}

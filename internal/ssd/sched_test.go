@@ -1,0 +1,129 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/controller"
+	"repro/internal/ftl"
+	"repro/internal/workload"
+)
+
+// TestSchedulerFIFOByteIdentical pins the default-path contract of the
+// scheduling refactor: Scheduler "" and "fifo" both leave the fabric
+// unwrapped, so the whole artifact set — summary, trace, telemetry —
+// matches today's output byte for byte.
+func TestSchedulerFIFOByteIdentical(t *testing.T) {
+	refSummary, refChrome, refTel, ref := shardedArtifacts(t, 0, "")
+	if ref.Sched != nil {
+		t.Fatal("default config built a scheduling layer")
+	}
+	summary, chrome, tel, s := shardedArtifacts(t, 0, "fifo")
+	if s.Sched != nil {
+		t.Fatal("explicit fifo built a scheduling layer")
+	}
+	if !bytes.Equal(summary, refSummary) || !bytes.Equal(chrome, refChrome) || !bytes.Equal(tel, refTel) {
+		t.Fatal("explicit fifo output diverges from the default")
+	}
+	if bytes.Contains(refSummary, []byte("\"scheduler\"")) {
+		t.Fatal("default summary leaks scheduler fields")
+	}
+}
+
+// TestShardsByteIdentitySched extends the shard-identity contract to the
+// non-FIFO policies: for conflict and ooo, serial vs 4-shard runs agree
+// on every artifact byte, with the checker (including the new scheduler
+// ledger) clean throughout.
+func TestShardsByteIdentitySched(t *testing.T) {
+	for _, sched := range []string{"conflict", "ooo"} {
+		refSummary, refChrome, refTel, ref := shardedArtifacts(t, 0, sched)
+		if ref.Sched == nil {
+			t.Fatalf("sched=%s: no scheduling layer built", sched)
+		}
+		summary, chrome, tel, _ := shardedArtifacts(t, 4, sched)
+		if !bytes.Equal(summary, refSummary) {
+			t.Fatalf("sched=%s: summary diverges between serial and shards=4", sched)
+		}
+		if !bytes.Equal(chrome, refChrome) {
+			t.Fatalf("sched=%s: Chrome trace diverges between serial and shards=4", sched)
+		}
+		if !bytes.Equal(tel, refTel) {
+			t.Fatalf("sched=%s: telemetry diverges between serial and shards=4", sched)
+		}
+		if !bytes.Contains(refSummary, []byte(`"scheduler": "`+sched+`"`)) {
+			t.Fatalf("sched=%s: summary does not report the policy", sched)
+		}
+		if !ref.Sched.Quiesced() {
+			t.Fatalf("sched=%s: scheduler not quiesced after drain", sched)
+		}
+	}
+}
+
+// TestSchedulerWiring covers the constructor plumbing: the wrapper is
+// interposed for non-FIFO policies (FTL side) while SSD.Fabric stays the
+// inner fabric for tracing/summary accessors, and the checker's
+// scheduling ledger engages under -check.
+func TestSchedulerWiring(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scheduler = "conflict"
+	cfg.FTL.GCMode = ftl.GCSpatial
+	cfg.LogicalUtilization = 0.75
+	cfg.Check = &check.Config{}
+	s := New(ArchPnSSDSplit, cfg)
+	if s.Sched == nil || s.Sched.Policy() != controller.SchedConflict {
+		t.Fatalf("Sched = %+v, want conflict wrapper", s.Sched)
+	}
+	if _, ok := s.Fabric.(*controller.OmnibusFabric); !ok {
+		t.Fatalf("SSD.Fabric is %T, want the inner Omnibus fabric", s.Fabric)
+	}
+	if s.Sched.Inner() != s.Fabric {
+		t.Fatal("wrapper does not wrap SSD.Fabric")
+	}
+	if s.Buses() == nil {
+		t.Fatal("bus enumeration broke under the scheduling layer")
+	}
+	foot := s.Config.LogicalPages()
+	s.Host.Warmup(foot)
+	tr, err := workload.Named("rocksdb-0", foot, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Host.MustReplay(tr.Requests)
+	s.Run() // checker enabled: violations panic
+	if issued, done := s.Checker.SchedCounts(); issued == 0 || issued != done {
+		t.Fatalf("scheduler ledger saw issued=%d done=%d", issued, done)
+	}
+	sum := s.Summarize()
+	if sum.Scheduler != "conflict" {
+		t.Fatalf("summary scheduler = %q", sum.Scheduler)
+	}
+	if sum.SchedDeferred == 0 {
+		t.Fatal("GC-heavy split workload never deferred a conflicting path")
+	}
+
+	// ooo wiring: the window is enforced, so the checker must have seen
+	// in-window issues only (a violation would have panicked above).
+	cfg.Scheduler = "ooo"
+	s2 := New(ArchPnSSDSplit, cfg)
+	if s2.Sched == nil || s2.Sched.Policy() != controller.SchedOOO {
+		t.Fatal("ooo wiring failed")
+	}
+	s2.Host.Warmup(foot)
+	s2.Host.MustReplay(tr.Requests)
+	s2.Run()
+	if sum2 := s2.Summarize(); sum2.Scheduler != "ooo" || sum2.SchedReordered == 0 {
+		t.Fatalf("ooo summary = %q reordered=%d, want reorders under load", sum2.Scheduler, sum2.SchedReordered)
+	}
+}
+
+func TestSchedulerValidate(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scheduler = "venice"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Validate accepted an unknown scheduler policy")
+		}
+	}()
+	cfg.Validate()
+}

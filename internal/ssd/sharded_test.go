@@ -17,9 +17,10 @@ import (
 // shardedArtifacts runs the fully instrumented determinism workload —
 // GC-heavy SpGC on pnSSD+split with tracing, the invariant checker, and
 // telemetry all live — at the given shard count (0 = plain serial
-// engine) and returns every byte-addressable artifact: the run summary
-// JSON, the Chrome trace export, and the telemetry document.
-func shardedArtifacts(t *testing.T, shards int) (summary, chrome, tel []byte, s *SSD) {
+// engine) and scheduling policy ("" = default fifo) and returns every
+// byte-addressable artifact: the run summary JSON, the Chrome trace
+// export, and the telemetry document.
+func shardedArtifacts(t *testing.T, shards int, sched string) (summary, chrome, tel []byte, s *SSD) {
 	t.Helper()
 	cfg := tinyConfig()
 	cfg.FTL.GCMode = ftl.GCSpatial
@@ -28,6 +29,7 @@ func shardedArtifacts(t *testing.T, shards int) (summary, chrome, tel []byte, s 
 	cfg.Check = &check.Config{}
 	cfg.Telemetry = &telemetry.Config{Window: 100 * sim.Microsecond}
 	cfg.Shards = shards
+	cfg.Scheduler = sched
 	s = New(ArchPnSSDSplit, cfg)
 	foot := s.Config.LogicalPages()
 	s.Host.Warmup(foot)
@@ -59,12 +61,12 @@ func shardedArtifacts(t *testing.T, shards int) (summary, chrome, tel []byte, s 
 // byte-identical at every shard count — serial engine, shards=1, 2, and
 // 4 — with the full invariant checker clean on each run.
 func TestShardsByteIdentity(t *testing.T) {
-	refSummary, refChrome, refTel, ref := shardedArtifacts(t, 0)
+	refSummary, refChrome, refTel, ref := shardedArtifacts(t, 0, "")
 	if ref.Sharded != nil {
 		t.Fatal("serial run built a sharded engine")
 	}
 	for _, shards := range []int{1, 2, 4} {
-		summary, chrome, tel, s := shardedArtifacts(t, shards)
+		summary, chrome, tel, s := shardedArtifacts(t, shards, "")
 		if shards > 1 {
 			if s.Sharded == nil || s.Partition == nil {
 				t.Fatalf("shards=%d run has no sharded engine/partition", shards)

@@ -122,6 +122,14 @@ type Config struct {
 	// hook detached, so the simulation is bit-identical to a build
 	// without telemetry.
 	Telemetry *telemetry.Config
+	// Scheduler selects the controller's command scheduling policy:
+	// "fifo" (or empty, the default — issue in arrival order, byte-
+	// identical to a build without the scheduling layer), "conflict"
+	// (Venice-style conflict-aware path reservation), or "ooo"
+	// (Sprinkler-style out-of-order die-level reordering). Non-FIFO
+	// policies interpose controller.SchedFabric between the FTL and the
+	// fabric.
+	Scheduler string
 	// Shards, when above 1, runs the device on a partitioned engine
 	// (sim.ShardedEngine): the chip array divides into topology-natural
 	// groups (see PlanPartition), the lockstep window comes from the
@@ -169,6 +177,9 @@ func (c Config) Validate() {
 	}
 	if c.Shards < 0 {
 		panic(fmt.Sprintf("ssd: negative shard count %d", c.Shards))
+	}
+	if _, err := controller.ParseSchedPolicy(c.Scheduler); err != nil {
+		panic(fmt.Sprintf("ssd: %v", err))
 	}
 	if c.Frontend != nil {
 		if err := c.Frontend.Validate(); err != nil {
@@ -225,6 +236,10 @@ type SSD struct {
 	// Telemetry is the time-series collector, nil unless
 	// Config.Telemetry was set.
 	Telemetry *telemetry.Collector
+	// Sched is the scheduling layer between FTL and fabric, nil unless
+	// Config.Scheduler selected a non-FIFO policy. Fabric stays the
+	// inner interconnect model in either case.
+	Sched *controller.SchedFabric
 	// Sharded is the partitioned engine, nil unless Config.Shards > 1.
 	// Engine is then shard 0 of it — the shard holding the host, FTL,
 	// SoC, and fabric resources — so every existing accessor keeps
@@ -457,6 +472,42 @@ func wireFrontend(cfg Config, h *host.Host, rec *trace.Recorder, ck *check.Check
 	return fe
 }
 
+// wrapSched interposes the scheduling layer between FTL and fabric when
+// cfg.Scheduler selects a non-FIFO policy. The FTL issues through the
+// returned Fabric; everything else (tracing, checking, telemetry, bus
+// accessors) keeps seeing the inner fabric, whose event behavior the
+// wrapper only re-sequences. FIFO (the default) returns the fabric
+// unwrapped, so the default build is byte-identical to one without the
+// scheduling layer compiled in.
+func wrapSched(cfg Config, fab controller.Fabric) (controller.Fabric, *controller.SchedFabric) {
+	pol, err := controller.ParseSchedPolicy(cfg.Scheduler)
+	if err != nil {
+		panic(fmt.Sprintf("ssd: %v", err)) // Validate already vetted it
+	}
+	if pol == controller.SchedFIFO {
+		return fab, nil
+	}
+	s := controller.NewSchedFabric(fab, pol)
+	return s, s
+}
+
+// wireSchedCheck attaches the scheduling-layer invariants: the
+// reservation ledger and reorder-window rules audit every decision, and
+// a drain check asserts the scheduler holds nothing at end of run.
+func wireSchedCheck(sched *controller.SchedFabric, ck *check.Checker) {
+	if sched == nil || !ck.Enabled() {
+		return
+	}
+	ck.WatchSched(sched.Window(), sched.ReorderBound())
+	sched.SetChecker(ck)
+	ck.AddDrainCheck("sched-quiesced", func() error {
+		if !sched.Quiesced() {
+			return fmt.Errorf("scheduler still holds work after drain")
+		}
+		return nil
+	})
+}
+
 // newEngines builds the simulation engine for cfg: a lone serial engine,
 // or — when cfg.Shards asks for partitioning — shard 0 of a
 // ShardedEngine plus the partition plan. The plan's window is
@@ -504,14 +555,16 @@ func New(arch Arch, cfg Config) *SSD {
 
 	fab := makeFabric(arch, eng, grid, soc, cfg)
 	adoptLookahead(se, part, fab)
-	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
+	ftlFab, sched := wrapSched(cfg, fab)
+	f := ftl.New(eng, ftlFab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
+	wireSchedCheck(sched, ck)
 	col := wireTelemetry(cfg, fab, f, h)
 	fe := wireFrontend(cfg, h, rec, ck, col)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col, Sharded: se, Partition: part}
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col, Sched: sched, Sharded: se, Partition: part}
 }
 
 // NewCustom builds an SSD whose fabric comes from the supplied
@@ -526,14 +579,16 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	soc := controller.NewSoc(eng, socMBps, socMBps)
 	fab := mk(eng, grid, soc, cfg.Geometry.PageSize)
 	adoptLookahead(se, part, fab)
-	f := ftl.New(eng, fab, cfg.FTL, cfg.LogicalPages())
+	ftlFab, sched := wrapSched(cfg, fab)
+	f := ftl.New(eng, ftlFab, cfg.FTL, cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
 	ck := wireCheck(cfg, eng, grid, fab, f, h, soc, inj)
+	wireSchedCheck(sched, ck)
 	col := wireTelemetry(cfg, fab, f, h)
 	fe := wireFrontend(cfg, h, rec, ck, col)
-	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col, Sharded: se, Partition: part}
+	return &SSD{Arch: arch, Config: cfg, Engine: eng, Grid: grid, Soc: soc, Fabric: fab, FTL: f, Host: h, Frontend: fe, Faults: inj, Tracer: rec, Checker: ck, Telemetry: col, Sched: sched, Sharded: se, Partition: part}
 }
 
 func makeFabric(arch Arch, eng *sim.Engine, grid *controller.Grid, soc *controller.Soc, cfg Config) controller.Fabric {

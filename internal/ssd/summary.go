@@ -105,6 +105,14 @@ type Summary struct {
 
 	RAS map[string]string `json:"ras,omitempty"`
 
+	// Scheduler counters appear only when a non-FIFO scheduling policy
+	// was configured, so default summaries stay byte-identical.
+	Scheduler      string `json:"scheduler,omitempty"`
+	SchedDeferred  int64  `json:"sched_deferred,omitempty"`
+	SchedReordered int64  `json:"sched_reordered,omitempty"`
+	SchedForced    int64  `json:"sched_forced,omitempty"`
+	SchedMaxQueue  int    `json:"sched_max_queue,omitempty"`
+
 	TraceEvents int64   `json:"trace_events,omitempty"`
 	TraceHolds  int64   `json:"trace_holds,omitempty"`
 	TraceWaitUs float64 `json:"trace_wait_us,omitempty"`
@@ -154,6 +162,11 @@ func (s *SSD) Summarize() Summary {
 				sum.RAS[row[0]] = row[1]
 			}
 		}
+	}
+	if s.Sched != nil {
+		sum.Scheduler = s.Sched.Policy().String()
+		sum.SchedDeferred, sum.SchedReordered, sum.SchedForced = s.Sched.Counts()
+		sum.SchedMaxQueue = s.Sched.MaxPending()
 	}
 	if s.Tracer.Enabled() {
 		holds, waits := s.Tracer.Holds()

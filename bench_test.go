@@ -436,6 +436,64 @@ func BenchmarkSchedPick(b *testing.B) {
 	}
 }
 
+// BenchmarkMapLookup drives the fmmu map unit's lookup path: a random
+// read stream over a device whose map cache holds a quarter of the
+// translation pages, so the stream mixes cache hits with demand fetches
+// through the fabric. The deterministic metrics (miss rate, fetches)
+// pin the cache's behavior; ns/op tracks the lookup overhead trend.
+func BenchmarkMapLookup(b *testing.B) {
+	cfg := ssd.ScaledConfig()
+	cfg.Geometry.BlocksPerPlane = 8
+	cfg.Geometry.PagesPerBlock = 16
+	cfg.Mapping = "fmmu"
+	numT := int((cfg.LogicalPages() + int64(cfg.Geometry.PageSize/8) - 1) / int64(cfg.Geometry.PageSize/8))
+	cfg.MapCacheEntries = numT / 4
+	for i := 0; i < b.N; i++ {
+		s := ssd.New(ssd.ArchPnSSDSplit, cfg)
+		foot := s.Config.LogicalPages()
+		s.Host.Warmup(foot)
+		s.Host.RunClosedLoop(workload.Synthetic(workload.RandRead, foot, 4, 1), 16, 400)
+		s.Run()
+		ms := s.FTL.MapStats()
+		b.ReportMetric(ms.MissRate()*100, "miss-pct")
+		b.ReportMetric(float64(ms.Fetches), "fetches")
+		b.ReportMetric(s.Metrics().Combined().P99().Microseconds(), "p99-us")
+	}
+}
+
+// BenchmarkFMMUSweep regenerates the map-cache-size x workload-skew
+// ablation and reports the headline cells: the flat baseline against
+// the smallest and effectively-infinite fmmu caches per skew. The p99s
+// and total misses are deterministic; benchjson -diff pins them.
+func BenchmarkFMMUSweep(b *testing.B) {
+	opt := quickOpts()
+	opt.TraceRequests = 250
+	for i := 0; i < b.N; i++ {
+		rows := exp.FmmuSweep(opt)
+		var misses int64
+		small := map[string]int{"low": 1 << 30, "high": 1 << 30}
+		for _, r := range rows {
+			misses += r.MapMisses
+			if r.Point.Mapping == "fmmu" && r.Point.Entries < small[r.Point.Skew] {
+				small[r.Point.Skew] = r.Point.Entries
+			}
+		}
+		for _, r := range rows {
+			switch {
+			case r.Point.Mapping == "flat" && r.Point.Skew == "low":
+				b.ReportMetric(r.P99.Microseconds(), "flat-low-p99-us")
+			case r.Point.Mapping == "flat" && r.Point.Skew == "high":
+				b.ReportMetric(r.P99.Microseconds(), "flat-high-p99-us")
+			case r.Point.Entries == small[r.Point.Skew] && r.Point.Skew == "low":
+				b.ReportMetric(r.P99.Microseconds(), "fmmu-small-low-p99-us")
+			case r.Point.Entries == small[r.Point.Skew] && r.Point.Skew == "high":
+				b.ReportMetric(r.P99.Microseconds(), "fmmu-small-high-p99-us")
+			}
+		}
+		b.ReportMetric(float64(misses), "map-misses")
+	}
+}
+
 // BenchmarkResourceHold measures one timed hold (Use → grant → release)
 // on an idle resource. The acceptance bar for the engine fast path is 0
 // allocs/op here: no closure pair, no boxing, reused event storage.

@@ -79,7 +79,7 @@ func startProfiles(cpuPath, memPath string) func() {
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant,array,sched (empty = all)")
+	fig := flag.String("fig", "", "figure to reproduce: 1,3,4,6,8,14,15,16,17,18,19,20a,20b,contention,tenant,array,sched,fmmu (empty = all)")
 	table := flag.String("table", "", "table to print: 1,2,3")
 	ablation := flag.String("ablation", "", "ablation study: vwidth, routing, ctrl-latency, gc-group, organization, ecc, victim, all")
 	faultExp := flag.String("fault", "", "fault/RAS experiment: sweep (fault-rate x architecture), degraded (v-channel kill + grant drops), all")
@@ -168,6 +168,7 @@ func main() {
 		"tenant":     figTenant,
 		"array":      figArray,
 		"sched":      figSched,
+		"fmmu":       figFmmu,
 	}
 	tables := map[string]func(exp.Options, func(*report.Table)){
 		"1": table1,
@@ -626,6 +627,22 @@ func figSched(opt exp.Options, emit func(*report.Table)) {
 	for _, r := range noisy {
 		t.Add(r.Point.Arch.String(), r.Point.Sched, r.LatencyP99.String(), r.LatencyP999.String(),
 			fmt.Sprint(r.SLOViolations), r.NoisyP99.String(), fmt.Sprint(r.Deferred), fmt.Sprint(r.Reordered))
+	}
+	emit(t)
+}
+
+func figFmmu(opt exp.Options, emit func(*report.Table)) {
+	rows := exp.FmmuSweep(opt)
+	t := report.New("On-flash mapping: map-cache size x workload skew (pnSSD+split, GC active; supplementary analysis)",
+		"mapping", "skew", "mean", "p99", "KIOPS", "map lookups", "map misses", "miss rate", "fetches", "writebacks")
+	for _, r := range rows {
+		name := r.Point.Mapping
+		if r.Point.Mapping == "fmmu" {
+			name = fmt.Sprintf("fmmu-%d", r.Point.Entries)
+		}
+		t.Add(name, r.Point.Skew, r.Mean.String(), r.P99.String(), report.F1(r.KIOPS),
+			fmt.Sprint(r.MapLookups), fmt.Sprint(r.MapMisses), report.F2(r.MissRate),
+			fmt.Sprint(r.MapFetches), fmt.Sprint(r.MapWritebacks))
 	}
 	emit(t)
 }

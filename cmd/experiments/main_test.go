@@ -62,6 +62,9 @@ func TestCSVHeaderStability(t *testing.T) {
 		{"tenant", figTenant, []string{
 			"config,tenant,mean,p50,p95,p99,p99.9,KIOPS,SLO misses",
 		}},
+		{"fmmu", figFmmu, []string{
+			"mapping,skew,mean,p99,KIOPS,map lookups,map misses,miss rate,fetches,writebacks",
+		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

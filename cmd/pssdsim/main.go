@@ -70,6 +70,9 @@ func run(args []string, stdout io.Writer) error {
 	full := fs.Bool("full", false, "full Table II geometry (slow); default is the scaled geometry")
 	checkFlag := fs.Bool("check", false, "attach the invariant checker and verify the run at drain")
 	sched := fs.String("sched", "fifo", "controller scheduling policy: fifo, conflict (Venice-style path reservation), ooo (Sprinkler-style die reordering)")
+	mapping := fs.String("mapping", "flat", "FTL mapping mode: flat (whole map in DRAM), fmmu (on-flash map with a bounded cache)")
+	mapcache := fs.Int("mapcache", 0, "with -mapping fmmu: map cache capacity in translation-page entries (0 = default 64)")
+	mapevict := fs.String("mapevict", "", "with -mapping fmmu: cache eviction policy, clock or lru (default clock)")
 	shards := fs.Int("shards", 0, "run on a partitioned engine with this many shards (0 or 1 = serial); results are byte-identical at any count")
 	list := fs.Bool("list", false, "list named traces and exit")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +126,23 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	cfg.Scheduler = *sched
+	switch strings.ToLower(*mapping) {
+	case "flat":
+	case "fmmu":
+		switch strings.ToLower(*mapevict) {
+		case "", "clock", "lru":
+		default:
+			return fmt.Errorf("unknown map eviction policy %q (want clock or lru)", *mapevict)
+		}
+		if *mapcache < 0 {
+			return fmt.Errorf("negative map cache size %d", *mapcache)
+		}
+		cfg.Mapping = "fmmu"
+		cfg.MapCacheEntries = *mapcache
+		cfg.MapEviction = strings.ToLower(*mapevict)
+	default:
+		return fmt.Errorf("unknown mapping mode %q (want flat or fmmu)", *mapping)
+	}
 
 	s := ssd.New(arch, cfg)
 	foot := s.Config.LogicalPages()
@@ -132,6 +152,10 @@ func run(args []string, stdout io.Writer) error {
 	if s.Sched != nil { // fifo leaves the fabric unwrapped, so this line only appears for non-default policies
 		fmt.Fprintf(stdout, "scheduler: %s (window=%d, reorder bound=%d)\n",
 			s.Sched.Policy(), s.Sched.Window(), s.Sched.ReorderBound())
+	}
+	if s.FTL.MapEnabled() { // flat runs carry no map unit, so this line only appears under -mapping fmmu
+		fmt.Fprintf(stdout, "mapping: fmmu (%d translation pages, cache %d entries)\n",
+			s.FTL.NumTranslationPages(), s.FTL.MapCacheEntries())
 	}
 
 	s.Host.Warmup(foot)
@@ -246,6 +270,14 @@ func printReport(stdout io.Writer, s *ssd.SSD, end sim.Time) error {
 		deferred, reordered, forced := s.Sched.Counts()
 		t.Add("sched deferred / reordered / forced", fmt.Sprintf("%d / %d / %d", deferred, reordered, forced))
 		t.Add("sched peak queue", fmt.Sprint(s.Sched.MaxPending()))
+	}
+	if s.FTL.MapEnabled() {
+		ms := s.FTL.MapStats()
+		t.Add("map hits / misses", fmt.Sprintf("%d / %d (%.0f%% miss)", ms.Hits, ms.Misses, ms.MissRate()*100))
+		t.Add("map fetches / writebacks", fmt.Sprintf("%d / %d", ms.Fetches, ms.Writebacks))
+		if ms.CleanRounds > 0 {
+			t.Add("map clean rounds / erases", fmt.Sprintf("%d / %d", ms.CleanRounds, ms.MapErases))
+		}
 	}
 	t.Add("sysbus busy", s.Soc.SysBusBusy().String())
 	t.Add("dram busy", s.Soc.DramBusy().String())

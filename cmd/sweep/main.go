@@ -45,7 +45,7 @@ var patterns = map[string]workload.Pattern{
 }
 
 func main() {
-	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants, sched, rebuildrate")
+	param := flag.String("param", "outstanding", "sweep dimension: outstanding, busrate, ways, reqpages, tenants, sched, mapcache, rebuildrate")
 	archFlag := flag.String("arch", "pnssd+split", "architecture (comma list allowed)")
 	patternFlag := flag.String("pattern", "rand-read", "synthetic pattern")
 	arbiterFlag := flag.String("arbiter", "rr", "queue arbiter for the tenants sweep: rr, wrr, dwrr")
@@ -91,6 +91,7 @@ func main() {
 		req     int
 		tenants int    // > 0 selects the multi-tenant open-loop path
 		sched   string // non-empty selects a controller scheduling policy
+		mapping string // non-empty labels the FTL mapping mode
 	}
 	var pts []point
 	base := func() ssd.Config {
@@ -137,6 +138,22 @@ func main() {
 				c.Scheduler = pol
 				return c
 			}, outs: *outstanding, req: 4, sched: pol})
+		}
+	case "mapcache":
+		// x is the map-cache capacity in translation-page entries; 0 is
+		// the flat-mapping baseline (no map unit at all).
+		for _, n := range []int{0, 8, 16, 32, 64, 128} {
+			n := n
+			mode := "fmmu"
+			if n == 0 {
+				mode = "flat"
+			}
+			pts = append(pts, point{x: n, mk: func() ssd.Config {
+				c := base()
+				c.Mapping = mode
+				c.MapCacheEntries = n
+				return c
+			}, outs: *outstanding, req: 4, mapping: mode})
 		}
 	case "tenants":
 		if _, err := host.NewArbiter(*arbiterFlag); err != nil {
@@ -185,6 +202,9 @@ func main() {
 		label := p.String()
 		if pt.sched != "" {
 			label = p.String() + "/" + pt.sched
+		}
+		if pt.mapping != "" {
+			label = p.String() + "/" + pt.mapping
 		}
 		if pt.tenants > 0 {
 			// Tenant-count sweep: N identical preset tenants on partitioned

@@ -92,6 +92,10 @@ type Checker struct {
 	// inflight balance.
 	sched *schedState
 
+	// map-unit ledger (WatchMap): cache-coherence mirror and the
+	// translation-page conservation record.
+	mapst *mapState
+
 	idleProbes  []idleProbe
 	drainChecks []drainCheck
 

@@ -1,0 +1,177 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+// TestMapConservationCatchesDroppedWriteback is the mutation test for
+// the map ledger's drain rules: a dirty eviction that never commits must
+// trip map-writeback-lost, and a commit whose token is not what flash
+// actually holds must trip map-conservation — the two ways an FTL bug
+// can silently lose a translation page.
+func TestMapConservationCatchesDroppedWriteback(t *testing.T) {
+	// Dropped writeback: evict dirty, never commit, drain.
+	_, c := newChecker()
+	c.WatchMap(4)
+	c.MapResident(3, 0, false)
+	c.MapDirtied(3, 1)
+	c.MapEvicted(3, 1, true)
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("clean dirty-eviction flagged: %v", c.Violations())
+	}
+	err := c.Verify()
+	if err == nil || !strings.Contains(err.Error(), "map-writeback-lost") {
+		t.Fatalf("dropped writeback not caught at drain: %v", err)
+	}
+	if !strings.Contains(err.Error(), "t=3") {
+		t.Fatalf("violation does not name the translation page: %v", err)
+	}
+
+	// The same history with the writeback committed is clean.
+	_, c2 := newChecker()
+	c2.WatchMap(4)
+	c2.SetMapProbe(func(tp int) (flash.Token, bool) { return flash.Token(0xAB), true })
+	c2.MapResident(3, 0, false)
+	c2.MapDirtied(3, 1)
+	c2.MapEvicted(3, 1, true)
+	c2.MapCommitted(3, 1, flash.Token(0xAB))
+	if err := c2.Verify(); err != nil {
+		t.Fatalf("committed writeback flagged: %v", err)
+	}
+
+	// Conservation: the commit landed, but flash holds a different
+	// token (e.g. the program was dropped or misdirected).
+	_, c3 := newChecker()
+	c3.WatchMap(4)
+	c3.SetMapProbe(func(tp int) (flash.Token, bool) { return flash.Token(0xEE), true })
+	c3.MapCommitted(7, 2, flash.Token(0xAB))
+	err = c3.Verify()
+	if err == nil || !strings.Contains(err.Error(), "map-conservation") {
+		t.Fatalf("corrupted translation page not caught: %v", err)
+	}
+
+	// Conservation, lost variant: the probe finds no programmed page.
+	_, c4 := newChecker()
+	c4.WatchMap(4)
+	c4.SetMapProbe(func(tp int) (flash.Token, bool) { return 0, false })
+	c4.MapCommitted(7, 2, flash.Token(0xAB))
+	err = c4.Verify()
+	if err == nil || !strings.Contains(err.Error(), "map-conservation") {
+		t.Fatalf("unprogrammed translation page not caught: %v", err)
+	}
+}
+
+// TestMapCacheCoherenceCatchesStaleEntry is the mutation test for the
+// coherence mirror: a hit served at a version older than what the cache
+// holds (a stale entry — the translation handed out could be wrong)
+// must trip map-coherence, as must hits and evictions on absent entries.
+func TestMapCacheCoherenceCatchesStaleEntry(t *testing.T) {
+	_, c := newChecker()
+	c.WatchMap(4)
+	c.MapResident(5, 0, false)
+	c.MapDirtied(5, 1)
+	c.MapHit(5, 1) // current version: legal
+	if len(c.Violations()) != 0 {
+		t.Fatalf("coherent hit flagged: %v", c.Violations())
+	}
+	c.MapHit(5, 0) // stale version
+	wantRule(t, c, "map-coherence")
+	if !strings.Contains(c.Violations()[0].Detail, "stale") {
+		t.Fatalf("violation does not say stale: %v", c.Violations()[0])
+	}
+
+	// Hit on an absent entry.
+	_, c2 := newChecker()
+	c2.WatchMap(4)
+	c2.MapHit(9, 0)
+	wantRule(t, c2, "map-coherence")
+
+	// Miss announced while the entry is resident.
+	_, c3 := newChecker()
+	c3.WatchMap(4)
+	c3.MapResident(2, 0, false)
+	c3.MapMiss(2)
+	wantRule(t, c3, "map-coherence")
+
+	// Double install without an eviction in between.
+	_, c4 := newChecker()
+	c4.WatchMap(4)
+	c4.MapResident(2, 0, false)
+	c4.MapResident(2, 0, false)
+	wantRule(t, c4, "map-coherence")
+
+	// Eviction of an entry that was never resident.
+	_, c5 := newChecker()
+	c5.WatchMap(4)
+	c5.MapEvicted(6, 0, false)
+	wantRule(t, c5, "map-coherence")
+}
+
+// TestMapVersionAndOverflowRules covers the remaining map invariants:
+// version steps, commit monotonicity, and the occupancy bound.
+func TestMapVersionAndOverflowRules(t *testing.T) {
+	// In-cache update skipping a version.
+	_, c := newChecker()
+	c.WatchMap(4)
+	c.MapResident(1, 0, false)
+	c.MapDirtied(1, 2) // 0 -> 2: skipped 1
+	wantRule(t, c, "map-version")
+
+	// Commit regression (relocations re-commit at the same version,
+	// which is legal; going backwards is not).
+	_, c2 := newChecker()
+	c2.WatchMap(4)
+	c2.MapCommitted(1, 3, flash.Token(1))
+	c2.MapCommitted(1, 3, flash.Token(1)) // relocation: same version, legal
+	if len(c2.Violations()) != 0 {
+		t.Fatalf("same-version recommit flagged: %v", c2.Violations())
+	}
+	c2.MapCommitted(1, 2, flash.Token(2))
+	wantRule(t, c2, "map-version")
+
+	// Occupancy past the configured capacity.
+	_, c3 := newChecker()
+	c3.WatchMap(2)
+	c3.MapResident(0, 0, false)
+	c3.MapResident(1, 0, false)
+	if len(c3.Violations()) != 0 {
+		t.Fatalf("at-capacity flagged: %v", c3.Violations())
+	}
+	c3.MapResident(2, 0, false)
+	wantRule(t, c3, "map-overflow")
+
+	// Ledger sizes are observable for cross-checks.
+	if res, pend := c3.MapCounts(); res != 3 || pend != 0 {
+		t.Fatalf("MapCounts = (%d, %d)", res, pend)
+	}
+}
+
+// TestNilAndDisabledMapHooks: the hooks are safe on a nil checker and
+// inert until WatchMap arms them, matching the sched ledger contract.
+func TestNilAndDisabledMapHooks(t *testing.T) {
+	var nc *Checker
+	nc.WatchMap(4)
+	nc.SetMapProbe(nil)
+	nc.MapResident(0, 0, false)
+	nc.MapHit(0, 0)
+	nc.MapMiss(0)
+	nc.MapDirtied(0, 1)
+	nc.MapEvicted(0, 1, true)
+	nc.MapCommitted(0, 1, 0)
+	if res, pend := nc.MapCounts(); res != 0 || pend != 0 {
+		t.Fatal("nil checker accumulated map state")
+	}
+
+	_, c := newChecker() // enabled but WatchMap never called
+	c.MapHit(0, 0)
+	c.MapEvicted(0, 1, true)
+	if len(c.Violations()) != 0 || c.Checks() != 0 {
+		t.Fatal("unwatched map hooks did work")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("unwatched Verify: %v", err)
+	}
+}

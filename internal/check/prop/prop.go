@@ -55,13 +55,21 @@ type Case struct {
 	// "conflict", or "ooo") — the empty string, like "fifo", runs
 	// without the scheduling layer.
 	Scheduler string
+
+	// Mapping selects the FTL mapping mode ("flat" or "fmmu"); under
+	// fmmu the map cache holds MapCacheEntries translation pages and
+	// evicts with MapEviction ("clock" or "lru").
+	Mapping         string
+	MapCacheEntries int
+	MapEviction     string
 }
 
 // String renders the case compactly for failure messages.
 func (c Case) String() string {
-	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d tenants=%d/%s sched=%s",
+	return fmt.Sprintf("case %d seed=%#x %v %dx%d geo=%d/%d/%d gc=%v thr=%.2f util=%.2f faulty=%v %s x%d tenants=%d/%s sched=%s map=%s/%d/%s",
 		c.Index, c.Seed, c.Arch, c.Channels, c.Ways, c.Planes, c.Blocks, c.Pages,
-		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests, c.Tenants, c.Arbiter, c.Scheduler)
+		c.GCMode, c.GCThreshold, c.Utilization, c.Faulty, c.Trace, c.Requests, c.Tenants, c.Arbiter, c.Scheduler,
+		c.Mapping, c.MapCacheEntries, c.MapEviction)
 }
 
 // rng is a splitmix64 stream: tiny, seedable, and stable across Go
@@ -95,7 +103,13 @@ func Generate(seed uint64, n int) []Case {
 	for i := range cases {
 		blocks := pickInt(r, 6, 8, 12)
 		planes := pickInt(r, 1, 2)
+		channels := pickInt(r, 2, 4)
+		ways := pickInt(r, 2, 4)
+		pages := pickInt(r, 8, 16)
 		faulty := r.intn(2) == 1
+		mapping := []string{"flat", "fmmu"}[r.intn(2)]
+		mapEntries := pickInt(r, 1, 4, 16, 64)
+		mapEviction := []string{"clock", "lru"}[r.intn(2)]
 		// Feasibility cap: each plane permanently consumes ~2.5 blocks of
 		// slack (host-active block, open GC destination, and the global
 		// one-block-per-chip reserve), and forced retirement faults eat up
@@ -107,6 +121,19 @@ func Generate(seed uint64, n int) []Case {
 		eff := float64(blocks)
 		if faulty && blocks >= 8 {
 			eff -= 2 / float64(planes)
+		}
+		if mapping == "fmmu" {
+			// The map unit permanently carves its region out of the free
+			// pool, round-robin across chips and planes. Charge each plane
+			// its worst-case share before the utilization cap so fmmu cases
+			// stay on the feasible side too. Upper-bound the translation
+			// page count with the maximum drawable utilization (0.65).
+			raw := channels * ways * planes * blocks * pages
+			perPage := 4096 / 8
+			numT := (raw*65/100 + perPage) / perPage
+			mapBlocks := (numT+pages-1)/pages + 3
+			slots := channels * ways * planes
+			eff -= float64((mapBlocks + slots - 1) / slots)
 		}
 		// Utilization is a fraction of *raw* capacity, so the cap compares
 		// against post-retirement blocks: valid data plus ~3.5 slack blocks
@@ -121,11 +148,11 @@ func Generate(seed uint64, n int) []Case {
 			Index:       i,
 			Seed:        r.next(),
 			Arch:        ssd.Archs[r.intn(len(ssd.Archs))],
-			Channels:    pickInt(r, 2, 4),
-			Ways:        pickInt(r, 2, 4),
+			Channels:    channels,
+			Ways:        ways,
 			Planes:      planes,
 			Blocks:      blocks,
-			Pages:       pickInt(r, 8, 16),
+			Pages:       pages,
 			BusMTps:     pickInt(r, 800, 1000),
 			GCMode:      gcModes[r.intn(len(gcModes))],
 			GCThreshold: 0.2 + 0.05*float64(r.intn(5)),
@@ -137,6 +164,10 @@ func Generate(seed uint64, n int) []Case {
 			Tenants:     pickInt(r, 1, 2, 3),
 			Arbiter:     host.ArbiterNames()[r.intn(len(host.ArbiterNames()))],
 			Scheduler:   controller.SchedPolicyNames()[r.intn(len(controller.SchedPolicyNames()))],
+
+			Mapping:         mapping,
+			MapCacheEntries: mapEntries,
+			MapEviction:     mapEviction,
 		}
 	}
 	return cases
@@ -172,6 +203,9 @@ func (c Case) Config() ssd.Config {
 		}
 	}
 	cfg.Scheduler = c.Scheduler
+	cfg.Mapping = c.Mapping
+	cfg.MapCacheEntries = c.MapCacheEntries
+	cfg.MapEviction = c.MapEviction
 	cfg.Check = &check.Config{}
 	if c.Tenants > 1 {
 		tenants := make([]host.TenantConfig, c.Tenants)

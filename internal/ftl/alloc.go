@@ -80,6 +80,10 @@ type blockInfo struct {
 	// lastWrite is the time of the most recent program into this block,
 	// the age signal cost-benefit victim selection uses.
 	lastWrite int64
+	// mapOwned marks a block carved out for the fmmu map unit's
+	// translation pages: host GC never selects it (the map unit runs its
+	// own cleaner) and its pages never enter p2l.
+	mapOwned bool
 }
 
 // planeState manages block allocation within one (chip, plane). Host

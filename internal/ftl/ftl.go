@@ -87,6 +87,9 @@ type Config struct {
 	// GCGroupFraction is the fraction of ways assigned to the GC group
 	// under SpGC; the paper uses 1/2 and discusses 1/4 as an ablation.
 	GCGroupFraction float64
+	// Map enables the FMMU-style demand-paged map unit (map.go); nil
+	// selects flat mapping, byte-identical to builds without the unit.
+	Map *MapConfig
 }
 
 // DefaultConfig returns the paper's FTL parameters.
@@ -162,6 +165,10 @@ type FTL struct {
 	// sink receives page-commit notifications for invariant checking; nil
 	// (the default) disables the hook with no overhead.
 	sink CheckSink
+
+	// mapu is the FMMU map unit; nil selects flat mapping with zero
+	// translation overhead (map.go).
+	mapu *mapUnit
 }
 
 // CheckSink receives the FTL's authoritative record of what every LPN
@@ -213,6 +220,9 @@ func New(eng *sim.Engine, fab controller.Fabric, cfg Config, numLPNs int64) *FTL
 	}
 	for i := range f.planes {
 		f.planes[i] = newPlaneState(geo.BlocksPerPlane, geo.PagesPerBlock)
+	}
+	if cfg.Map != nil {
+		f.mapu = newMapUnit(f, *cfg.Map)
 	}
 	return f
 }
@@ -354,6 +364,9 @@ func (f *FTL) Install(lpn int64, tok flash.Token) {
 	if f.sink != nil {
 		f.sink.PageWritten(lpn, tok)
 	}
+	if f.mapu != nil {
+		f.mapu.warmTouch(lpn)
+	}
 }
 
 // Reinstall instantly overwrites an already-mapped LPN during warmup:
@@ -385,6 +398,9 @@ func (f *FTL) Reinstall(lpn int64, tok flash.Token) {
 	ps.blocks[block].validCount++
 	if f.sink != nil {
 		f.sink.PageWritten(lpn, tok)
+	}
+	if f.mapu != nil {
+		f.mapu.warmTouch(lpn)
 	}
 }
 
@@ -478,7 +494,23 @@ func (f *FTL) readWhenStable(lpns []int64, att *telemetry.Attribution, done func
 	// Any wait behind in-flight writes ends here; un-stalled reads
 	// mark at their own issue instant and credit an exact zero.
 	att.Mark(telemetry.PhaseStall, f.eng.Now())
-	f.issueRead(lpns, done)
+	if f.mapu == nil {
+		f.issueRead(lpns, done)
+		return
+	}
+	f.mapu.translate(lpns, func() {
+		att.Mark(telemetry.PhaseMap, f.eng.Now())
+		// A fetch consumed simulated time: a write to one of the target
+		// LPNs may have started meanwhile, so re-check stability before
+		// issuing (any new wait is credited back to the stall phase).
+		for _, lpn := range lpns {
+			if f.inflightWrites[lpn] > 0 {
+				f.readWhenStable(lpns, att, done)
+				return
+			}
+		}
+		f.issueRead(lpns, done)
+	})
 }
 
 func (f *FTL) issueRead(lpns []int64, done func()) {
@@ -557,8 +589,20 @@ func (f *FTL) WriteTracked(lpns []int64, toks []flash.Token, att *telemetry.Attr
 		f.outstanding--
 		done()
 	}
-	f.tryWrite(append([]int64(nil), lpns...), append([]flash.Token(nil), toks...), att, wrapped)
-	f.maybeTriggerGC()
+	lp := append([]int64(nil), lpns...)
+	tk := append([]flash.Token(nil), toks...)
+	if f.mapu == nil {
+		f.tryWrite(lp, tk, att, wrapped)
+		f.maybeTriggerGC()
+		return
+	}
+	// Even an overwrite consults the map first — honest DFTL lookup
+	// traffic: the FTL must know the old physical page to invalidate it.
+	f.mapu.translate(lp, func() {
+		att.Mark(telemetry.PhaseMap, f.eng.Now())
+		f.tryWrite(lp, tk, att, wrapped)
+		f.maybeTriggerGC()
+	})
 }
 
 // hostWriteAllowed reports whether host writes may target a slot right
@@ -661,6 +705,9 @@ func (f *FTL) commitWrite(lpns []int64, toks []flash.Token, targets []pendingTar
 		f.inflightWrites[lpn]++
 		if f.sink != nil {
 			f.sink.PageWritten(lpn, toks[i])
+		}
+		if f.mapu != nil {
+			f.mapu.noteUpdate(lpn)
 		}
 		locs[i], addrs[i] = tgt.s.chip, addr
 	}

@@ -85,7 +85,7 @@ func (f *FTL) selectVictims(perChip int) []victim {
 			ps := f.planeAt(id, plane)
 			for b := range ps.blocks {
 				bi := &ps.blocks[b]
-				if bi.state == BlockFull && bi.inflight == 0 {
+				if bi.state == BlockFull && bi.inflight == 0 && !bi.mapOwned {
 					cands = append(cands, cand{plane, b, bi.validCount, bi.lastWrite})
 				}
 			}
@@ -326,6 +326,9 @@ func (f *FTL) copyOnePage(v victim, page int, done func()) {
 			f.p2l[oldPhys] = unmapped
 			f.planeAt(v.id, v.plane).blocks[v.block].validCount--
 			dstPS.blocks[dstAddr.Block].validCount++
+			if f.mapu != nil {
+				f.mapu.noteUpdate(lpn)
+			}
 		}
 		// Otherwise the host rewrote the LPN mid-copy; the copied page is
 		// immediately garbage and stays invalid at the destination.

@@ -130,6 +130,19 @@ type Config struct {
 	// policies interpose controller.SchedFabric between the FTL and the
 	// fabric.
 	Scheduler string
+	// Mapping selects the FTL mapping mode: "flat" (or empty, the
+	// default — whole map in DRAM, translation free, byte-identical to a
+	// build without the map unit) or "fmmu" (FMMU-style demand-paged
+	// mapping: translation pages live on flash, a bounded DRAM map cache
+	// holds the hot subset, and map IO flows through the fabric as real
+	// traffic).
+	Mapping string
+	// MapCacheEntries is the fmmu map-cache capacity in translation
+	// pages; zero selects the ftl default (64). Ignored in flat mode.
+	MapCacheEntries int
+	// MapEviction selects the fmmu map-cache replacement policy:
+	// "clock" (or empty, the default) or "lru". Ignored in flat mode.
+	MapEviction string
 	// Shards, when above 1, runs the device on a partitioned engine
 	// (sim.ShardedEngine): the chip array divides into topology-natural
 	// groups (see PlanPartition), the lockstep window comes from the
@@ -180,6 +193,19 @@ func (c Config) Validate() {
 	}
 	if _, err := controller.ParseSchedPolicy(c.Scheduler); err != nil {
 		panic(fmt.Sprintf("ssd: %v", err))
+	}
+	switch c.Mapping {
+	case "", "flat", "fmmu":
+	default:
+		panic(fmt.Sprintf("ssd: unknown mapping mode %q (want flat or fmmu)", c.Mapping))
+	}
+	switch c.MapEviction {
+	case "", "clock", "lru":
+	default:
+		panic(fmt.Sprintf("ssd: unknown map eviction policy %q (want clock or lru)", c.MapEviction))
+	}
+	if c.MapCacheEntries < 0 {
+		panic(fmt.Sprintf("ssd: negative map cache size %d", c.MapCacheEntries))
 	}
 	if c.Frontend != nil {
 		if err := c.Frontend.Validate(); err != nil {
@@ -376,6 +402,12 @@ func wireCheck(cfg Config, eng *sim.Engine, grid *controller.Grid, fab controlle
 		}
 		return nil
 	})
+	if f.MapEnabled() {
+		ck.WatchMap(f.MapCacheEntries())
+		ck.SetMapProbe(f.MapFlashToken)
+		f.SetMapChecker(ck)
+		ck.AddDrainCheck("map-idle", f.MapIdle)
+	}
 	f.SetChecker(ck)
 	ck.SetContentProbe(func(lpn int64) (flash.Token, bool) {
 		id, addr, ok := f.Map(lpn)
@@ -435,6 +467,9 @@ func wireTelemetry(cfg Config, fab controller.Fabric, f *ftl.FTL, h *host.Host) 
 	col := telemetry.New(*cfg.Telemetry)
 	h.SetTelemetry(col)
 	f.SetTelemetry(col)
+	if f.MapEnabled() {
+		col.EnableMapPhase()
+	}
 	if ob, ok := fab.(*controller.OmnibusFabric); ok {
 		ob.SetTelemetry(col)
 	}
@@ -508,6 +543,17 @@ func wireSchedCheck(sched *controller.SchedFabric, ck *check.Checker) {
 	})
 }
 
+// ftlConfig returns cfg.FTL with the map unit enabled when Mapping
+// selects fmmu. Flat (or empty) leaves Map nil, so the FTL is built
+// exactly as before the mapping mode existed.
+func ftlConfig(cfg Config) ftl.Config {
+	fc := cfg.FTL
+	if cfg.Mapping == "fmmu" {
+		fc.Map = &ftl.MapConfig{Entries: cfg.MapCacheEntries, Eviction: cfg.MapEviction}
+	}
+	return fc
+}
+
 // newEngines builds the simulation engine for cfg: a lone serial engine,
 // or — when cfg.Shards asks for partitioning — shard 0 of a
 // ShardedEngine plus the partition plan. The plan's window is
@@ -556,7 +602,7 @@ func New(arch Arch, cfg Config) *SSD {
 	fab := makeFabric(arch, eng, grid, soc, cfg)
 	adoptLookahead(se, part, fab)
 	ftlFab, sched := wrapSched(cfg, fab)
-	f := ftl.New(eng, ftlFab, cfg.FTL, cfg.LogicalPages())
+	f := ftl.New(eng, ftlFab, ftlConfig(cfg), cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)
@@ -580,7 +626,7 @@ func NewCustom(arch Arch, cfg Config, mk func(eng *sim.Engine, grid *controller.
 	fab := mk(eng, grid, soc, cfg.Geometry.PageSize)
 	adoptLookahead(se, part, fab)
 	ftlFab, sched := wrapSched(cfg, fab)
-	f := ftl.New(eng, ftlFab, cfg.FTL, cfg.LogicalPages())
+	f := ftl.New(eng, ftlFab, ftlConfig(cfg), cfg.LogicalPages())
 	h := host.New(eng, f, cfg.Geometry.PageSize, socMBps)
 	inj := wireFaults(cfg, grid, fab, f)
 	rec := wireTrace(cfg, eng, grid, fab, f, h, soc)

@@ -113,6 +113,18 @@ type Summary struct {
 	SchedForced    int64  `json:"sched_forced,omitempty"`
 	SchedMaxQueue  int    `json:"sched_max_queue,omitempty"`
 
+	// Mapping counters appear only under the fmmu mapping mode, so flat
+	// summaries stay byte-identical.
+	Mapping        string  `json:"mapping,omitempty"`
+	MapLookups     int64   `json:"map_lookups,omitempty"`
+	MapHits        int64   `json:"map_hits,omitempty"`
+	MapMisses      int64   `json:"map_misses,omitempty"`
+	MapMissRate    float64 `json:"map_miss_rate,omitempty"`
+	MapFetches     int64   `json:"map_fetches,omitempty"`
+	MapWritebacks  int64   `json:"map_writebacks,omitempty"`
+	MapEvictions   int64   `json:"map_evictions,omitempty"`
+	MapCleanRounds int64   `json:"map_clean_rounds,omitempty"`
+
 	TraceEvents int64   `json:"trace_events,omitempty"`
 	TraceHolds  int64   `json:"trace_holds,omitempty"`
 	TraceWaitUs float64 `json:"trace_wait_us,omitempty"`
@@ -167,6 +179,18 @@ func (s *SSD) Summarize() Summary {
 		sum.Scheduler = s.Sched.Policy().String()
 		sum.SchedDeferred, sum.SchedReordered, sum.SchedForced = s.Sched.Counts()
 		sum.SchedMaxQueue = s.Sched.MaxPending()
+	}
+	if s.FTL.MapEnabled() {
+		ms := s.FTL.MapStats()
+		sum.Mapping = "fmmu"
+		sum.MapLookups = ms.Lookups
+		sum.MapHits = ms.Hits
+		sum.MapMisses = ms.Misses
+		sum.MapMissRate = ms.MissRate()
+		sum.MapFetches = ms.Fetches
+		sum.MapWritebacks = ms.Writebacks
+		sum.MapEvictions = ms.Evictions
+		sum.MapCleanRounds = ms.CleanRounds
 	}
 	if s.Tracer.Enabled() {
 		holds, waits := s.Tracer.Holds()

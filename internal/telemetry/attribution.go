@@ -38,6 +38,13 @@ const (
 	// overlapping the stall is credited here (the stall is the
 	// binding constraint).
 	PhaseStall
+	// PhaseMap is address-translation wait under the fmmu mapping mode:
+	// time a request spends blocked on a map-cache miss while its
+	// translation page is demand-paged in from flash (including queueing
+	// behind an in-flight writeback of the same page). Flat mapping never
+	// marks it, and summaries omit the phase unless the map unit is live,
+	// so flat-mode output is byte-identical with or without this phase.
+	PhaseMap
 	// PhaseFlash is FTL issue to last flash batch completion: fabric
 	// transfer plus chip ops, the useful device work.
 	PhaseFlash
@@ -45,7 +52,7 @@ const (
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"sq-wait", "cmd", "nvme-xfer", "gc-stall", "flash"}
+var phaseNames = [NumPhases]string{"sq-wait", "cmd", "nvme-xfer", "gc-stall", "map-stall", "flash"}
 
 // String returns the phase's stable short name (used in JSON exports).
 func (p Phase) String() string {

@@ -183,6 +183,21 @@ func (c *Collector) Summary(end sim.Time) *Summary {
 		sum.Series = append(sum.Series,
 			Series{Name: "rebuild", Unit: "pages", Values: pages})
 	}
+	if c.mapSeen {
+		hits := make([]float64, windows)
+		misses := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			if w < len(c.mapHits) {
+				hits[w] = float64(c.mapHits[w])
+			}
+			if w < len(c.mapMisses) {
+				misses[w] = float64(c.mapMisses[w])
+			}
+		}
+		sum.Series = append(sum.Series,
+			Series{Name: "map_hits", Unit: "count", Values: hits},
+			Series{Name: "map_misses", Unit: "count", Values: misses})
+	}
 	// Event classes in sorted order so map iteration never leaks.
 	for _, class := range sortedKeys(c.events) {
 		counts := make([]float64, windows)
@@ -204,6 +219,14 @@ func (c *Collector) Summary(end sim.Time) *Summary {
 		for p := Phase(0); p < NumPhases; p++ {
 			h := c.phaseHist[k][p]
 			if h.Count() == 0 {
+				continue
+			}
+			// FinishRequest adds a zero into every phase histogram, so
+			// Count alone cannot gate PhaseMap: without the flag the row
+			// would appear (all-zero) in flat runs and break flat-mode
+			// byte-identity with pre-map-unit output. Its zero total never
+			// shifts the other phases' Share values.
+			if p == PhaseMap && !c.mapSeen {
 				continue
 			}
 			share := 0.0

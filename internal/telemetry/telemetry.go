@@ -95,6 +95,13 @@ type Collector struct {
 	rebuilt     []int64
 	rebuildSeen bool
 
+	// FMMU map-cache activity: lookup hits and misses per window. mapSeen
+	// gates both the series and the PhaseMap attribution rows so flat-mode
+	// summaries stay byte-identical to builds without the map unit.
+	mapHits   []int64
+	mapMisses []int64
+	mapSeen   bool
+
 	// Named instants (e.g. rebuild-detect) surfaced in the summary.
 	marks []Mark
 }
@@ -304,6 +311,42 @@ func (c *Collector) spreadDepth(s []sim.Time, from, to sim.Time, depth int) []si
 		}
 	}
 	return s
+}
+
+// EnableMapPhase declares that a map unit is attached to this run, so
+// summaries emit the map series and PhaseMap rows even if a window
+// records no activity. Wired once at device construction; never called
+// in flat mode.
+func (c *Collector) EnableMapPhase() {
+	if c == nil {
+		return
+	}
+	c.mapSeen = true
+}
+
+// MapHit counts one map-cache lookup hit.
+func (c *Collector) MapHit(at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	w := c.slot(at)
+	c.mapHits = growI64(c.mapHits, w)
+	c.mapHits[w]++
+	c.mapSeen = true
+}
+
+// MapMiss counts one map-cache lookup miss (including coalesced joins
+// onto an already in-flight fetch).
+func (c *Collector) MapMiss(at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.touch(at)
+	w := c.slot(at)
+	c.mapMisses = growI64(c.mapMisses, w)
+	c.mapMisses[w]++
+	c.mapSeen = true
 }
 
 // RebuildPage counts one array stripe page rebuilt onto a spare.
